@@ -1,0 +1,29 @@
+"""Shared benchmark configuration.
+
+``REPRO_BENCH_SCALE`` scales the TPC-B database and operation count
+(default 0.02 -> 2,000 accounts / 1,000 operations, which reproduces the
+Table 2 percentages in a couple of minutes).  Set it to 1.0 for the
+paper's full 100,000-account / 50,000-operation configuration.
+
+Virtual-time throughput (the paper reproduction) is attached to each
+benchmark as ``extra_info``; pytest-benchmark's own timings measure the
+wall-clock cost of this Python implementation and are reported for
+transparency only.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.bench.tpcb import TPCBConfig
+
+
+def bench_scale() -> float:
+    return float(os.environ.get("REPRO_BENCH_SCALE", "0.02"))
+
+
+@pytest.fixture(scope="session")
+def workload_config() -> TPCBConfig:
+    return TPCBConfig().scaled(bench_scale())

@@ -1,0 +1,101 @@
+"""Ablation E: incremental-audit throughput cost vs detection latency.
+
+The corruption-spread benchmark shows blast radius grows linearly with
+detection latency; this ablation prices the other side of that tradeoff.
+An incremental auditor checks ``batch`` regions after every TPC-B
+operation: larger batches finish a full sweep sooner (lower detection
+latency, smaller delete sets) but burn more virtual time per operation.
+"""
+
+from __future__ import annotations
+
+import shutil
+
+import pytest
+
+from repro.bench.reporting import render_table
+from repro.bench.tpcb import TPCBConfig, TPCBWorkload, build_tpcb_database, load_tpcb
+from repro.storage.database import DBConfig
+
+WORKLOAD = TPCBConfig(
+    accounts=1000, tellers=200, branches=20, operations=400, ops_per_txn=50
+)
+
+#: regions audited after each operation (0 = no background auditing)
+BATCHES = (0, 2, 8, 32)
+
+_cells: dict[int, tuple[float, float]] = {}  # batch -> (ops/sec, sweep ops)
+
+
+def run_with_audit_batch(tmp_path, batch: int) -> tuple[float, float]:
+    path = tmp_path / f"batch{batch}"
+    if path.exists():
+        shutil.rmtree(path)
+    config = DBConfig(
+        dir=str(path), scheme="data_cw", scheme_params={"region_size": 4096}
+    )
+    db = build_tpcb_database(config, WORKLOAD)
+    load_tpcb(db, WORKLOAD)
+    db.checkpoint()
+    db.meter.reset()
+    start_ns = db.clock.now_ns
+    runner = TPCBWorkload(db, WORKLOAD)
+    sweeps = 0
+    for _ in range(WORKLOAD.operations):
+        runner.run_one()
+        if batch:
+            db.auditor.run_incremental(batch)
+            if db.auditor._cursor == 0:
+                sweeps += 1
+    runner.finish()
+    elapsed_s = (db.clock.now_ns - start_ns) / 1e9
+    ops_per_sec = WORKLOAD.operations / elapsed_s
+    # Detection latency ~= operations per full sweep.
+    sweep_ops = WORKLOAD.operations / sweeps if sweeps else float("inf")
+    db.close()
+    return ops_per_sec, sweep_ops
+
+
+@pytest.mark.parametrize("batch", BATCHES)
+def test_audit_batch_cell(benchmark, batch, tmp_path):
+    result = benchmark.pedantic(
+        lambda: run_with_audit_batch(tmp_path, batch), rounds=1, iterations=1
+    )
+    _cells[batch] = result
+    benchmark.extra_info["virtual_ops_per_sec"] = round(result[0], 1)
+    benchmark.extra_info["ops_per_full_sweep"] = (
+        round(result[1], 1) if result[1] != float("inf") else None
+    )
+
+
+def test_audit_frequency_tradeoff(benchmark):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    assert len(_cells) == len(BATCHES)
+    baseline = _cells[0][0]
+    rows = []
+    for batch in BATCHES:
+        ops, sweep = _cells[batch]
+        slowdown = 100 * (1 - ops / baseline)
+        rows.append(
+            [
+                str(batch),
+                f"{ops:,.0f}",
+                f"{slowdown:.1f}%",
+                "-" if sweep == float("inf") else f"{sweep:,.0f} ops",
+            ]
+        )
+    print()
+    print(
+        render_table(
+            ["Audit batch", "Ops/Sec", "% Slower", "Detection latency"],
+            rows,
+            title="Ablation E: audit frequency vs throughput",
+        )
+    )
+    # More auditing costs more throughput...
+    rates = [_cells[b][0] for b in BATCHES]
+    assert all(a >= b for a, b in zip(rates, rates[1:]))
+    # ...and buys lower detection latency.
+    latencies = [_cells[b][1] for b in BATCHES]
+    assert all(a >= b for a, b in zip(latencies, latencies[1:]))
+    assert latencies[-1] < 100  # a sweep at batch 32 within ~100 ops

@@ -1,0 +1,58 @@
+"""Ablation C: deferred vs inline codeword maintenance.
+
+The deferred scheme (Section 4.3 mentions its audit procedure) buffers
+per-region deltas instead of updating the codeword table inside every
+update window.  Expected shape: cheaper per operation than inline Data
+Codeword maintenance, identical detection capability at audit time, but
+audits now pay the flush.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import FaultInjector
+from repro.bench.harness import SchemeSpec, run_scheme
+from repro.bench.tpcb import TPCBWorkload, build_tpcb_database, load_tpcb
+from repro.storage.database import DBConfig
+
+_runs: dict[str, object] = {}
+
+
+@pytest.mark.parametrize(
+    "label,scheme",
+    [("baseline", "baseline"), ("data_cw", "data_cw"), ("deferred", "deferred")],
+)
+def test_maintenance_cost(benchmark, label, scheme, workload_config, tmp_path):
+    def run():
+        return run_scheme(
+            SchemeSpec(label, scheme), workload_config, str(tmp_path / "run")
+        )
+
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    _runs[label] = result
+    benchmark.extra_info["virtual_ops_per_sec"] = round(result.ops_per_sec, 1)
+
+
+def test_deferred_is_cheaper_inline_detection_equal(benchmark, workload_config, tmp_path):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    assert len(_runs) == 3
+    base = _runs["baseline"].ops_per_sec
+    inline_pct = 100 * (1 - _runs["data_cw"].ops_per_sec / base)
+    deferred_pct = 100 * (1 - _runs["deferred"].ops_per_sec / base)
+    print(f"\ninline maintenance {inline_pct:.1f}%, deferred {deferred_pct:.1f}%")
+    assert deferred_pct < inline_pct
+
+    # Detection capability is unchanged: a wild write is still caught.
+    db = build_tpcb_database(
+        DBConfig(dir=str(tmp_path / "detect"), scheme="deferred"),
+        workload_config,
+    )
+    load_tpcb(db, workload_config)
+    TPCBWorkload(db, workload_config).run(min(50, workload_config.operations))
+    FaultInjector(db, seed=11).wild_write(
+        db.table("account").record_address(3) + 16, 8
+    )
+    report = db.audit()
+    assert not report.clean
+    db.close()

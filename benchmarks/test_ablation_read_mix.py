@@ -1,0 +1,87 @@
+"""Ablation D: scheme overhead vs read fraction (extension).
+
+Sweeps the read/write mix.  Because an update is a read-modify-write,
+*every* operation performs prescribed reads, so per-read scheme overhead
+(Read Prechecking, Read Logging) is nearly flat across the mix -- while
+per-update scheme overhead (Data Codeword maintenance, Hardware
+Protection's expose/cover syscalls) collapses as reads displace writes.
+The result is a crossover: hardware protection is the most expensive
+scheme on a write-heavy mix but undercuts read logging on a read-heavy
+one.  This quantifies the paper's advice that users should "make their
+own safety/performance tradeoff".
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.mixes import MixConfig, run_mix
+from repro.bench.reporting import render_table
+from repro.storage.database import DBConfig
+
+FRACTIONS = (0.1, 0.5, 0.9)
+SCHEMES = {
+    "baseline": {},
+    "data_cw": {},
+    "precheck": {"region_size": 64},
+    "read_logging": {},
+    "hardware": {},
+}
+
+_grid: dict[tuple[str, float], float] = {}
+
+
+@pytest.mark.parametrize("fraction", FRACTIONS)
+@pytest.mark.parametrize("scheme", list(SCHEMES))
+def test_mix_cell(benchmark, scheme, fraction, tmp_path):
+    mix = MixConfig(read_fraction=fraction)
+    config = DBConfig(
+        dir=str(tmp_path / "db"), scheme=scheme, scheme_params=dict(SCHEMES[scheme])
+    )
+
+    def run():
+        return run_mix(config, mix)
+
+    ops_per_sec, _events = benchmark.pedantic(run, rounds=1, iterations=1)
+    _grid[(scheme, fraction)] = ops_per_sec
+    benchmark.extra_info["virtual_ops_per_sec"] = round(ops_per_sec, 1)
+
+
+def test_read_mix_shape(benchmark):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    assert len(_grid) == len(SCHEMES) * len(FRACTIONS)
+
+    def overhead(scheme: str, fraction: float) -> float:
+        base = _grid[("baseline", fraction)]
+        return 100.0 * (1.0 - _grid[(scheme, fraction)] / base)
+
+    rows = []
+    for scheme in SCHEMES:
+        if scheme == "baseline":
+            continue
+        rows.append(
+            [scheme] + [f"{overhead(scheme, f):.1f}%" for f in FRACTIONS]
+        )
+    print()
+    print(
+        render_table(
+            ["Scheme"] + [f"{int(f * 100)}% reads" for f in FRACTIONS],
+            rows,
+            title="Ablation D: slowdown vs read fraction",
+        )
+    )
+
+    # Every scheme gets cheaper as writes disappear (updates carry the
+    # most protection work under every scheme)...
+    for scheme in ("precheck", "read_logging", "data_cw", "hardware"):
+        assert overhead(scheme, 0.9) < overhead(scheme, 0.1), scheme
+    # ...but per-update schemes collapse much faster than per-read ones.
+    def retention(scheme: str) -> float:
+        return overhead(scheme, 0.9) / overhead(scheme, 0.1)
+
+    assert retention("precheck") > retention("hardware")
+    assert retention("read_logging") > retention("data_cw")
+    # The crossover: hardware protection is the most expensive scheme on
+    # a write-heavy mix, yet beats read logging on a read-heavy one.
+    assert overhead("hardware", 0.1) > overhead("read_logging", 0.1)
+    assert overhead("hardware", 0.9) < overhead("read_logging", 0.9)

@@ -1,0 +1,78 @@
+"""Ablation A: Read Prechecking region-size sweep.
+
+Section 5.3 reports three points of the time/space tradeoff (64 B, 512 B,
+8 KB).  This ablation sweeps the full range and regenerates the implied
+figure: per-operation check cost grows with region size while codeword
+space overhead shrinks, with the crossover against Memory Protection
+(38% slowdown in the paper) falling between 512 B and 8 KB.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.harness import SchemeSpec, run_scheme
+from repro.bench.reporting import render_table
+
+REGION_SIZES = (32, 64, 128, 256, 512, 1024, 8192)
+
+_sweep: dict[int, object] = {}
+
+
+@pytest.mark.parametrize("region_size", REGION_SIZES)
+def test_precheck_region_size(benchmark, region_size, workload_config, tmp_path):
+    spec = SchemeSpec(
+        f"Precheck {region_size}B", "precheck", {"region_size": region_size}
+    )
+
+    def run():
+        return run_scheme(spec, workload_config, str(tmp_path / "run"))
+
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    _sweep[region_size] = result
+    benchmark.extra_info["virtual_ops_per_sec"] = round(result.ops_per_sec, 1)
+    benchmark.extra_info["space_overhead_pct"] = round(result.space_overhead_pct, 3)
+
+
+def test_region_size_tradeoff_shape(benchmark, workload_config, tmp_path):
+    assert len(_sweep) == len(REGION_SIZES)
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    baseline = run_scheme(
+        SchemeSpec("Baseline", "baseline"), workload_config, str(tmp_path / "base")
+    )
+    hardware = run_scheme(
+        SchemeSpec("Memory Protection", "hardware"),
+        workload_config,
+        str(tmp_path / "hw"),
+    )
+
+    rows = []
+    for size in REGION_SIZES:
+        result = _sweep[size]
+        slowdown = 100.0 * (1.0 - result.ops_per_sec / baseline.ops_per_sec)
+        rows.append(
+            [
+                f"{size} B",
+                f"{result.ops_per_sec:,.0f}",
+                f"{slowdown:.1f}%",
+                f"{result.space_overhead_pct:.3f}%",
+                f"{result.events_per_op('cw_check_word'):,.0f}",
+            ]
+        )
+    print()
+    print(
+        render_table(
+            ["Region", "Ops/Sec", "% Slower", "Space ovh", "check words/op"],
+            rows,
+            title="Ablation A: Read Prechecking region-size sweep",
+        )
+    )
+
+    # Time cost monotonically non-increasing throughput with region size.
+    rates = [_sweep[size].ops_per_sec for size in REGION_SIZES]
+    assert all(a >= b for a, b in zip(rates, rates[1:]))
+    # Space overhead strictly decreasing.
+    overheads = [_sweep[size].space_overhead_pct for size in REGION_SIZES]
+    assert all(a > b for a, b in zip(overheads, overheads[1:]))
+    # Crossover vs hardware protection falls between 512 B and 8 KB.
+    assert _sweep[512].ops_per_sec > hardware.ops_per_sec > _sweep[8192].ops_per_sec

@@ -1,0 +1,85 @@
+"""Corruption spread vs detection latency (extension).
+
+Section 4.1: "We do not attempt to analyze the speed at which corruption
+may spread, since it is dependent on the details of the application, the
+DBMS implementation, and the initially corrupted data."  For *this*
+application (TPC-B) we can: corrupt a branch record, keep running for a
+varying number of operations before the audit fires, and measure how many
+committed transactions the delete-transaction recovery must remove.
+
+Expected shape: the delete set grows (weakly) monotonically with
+detection latency, and audit frequency is therefore the operator's lever
+on blast radius -- the quantitative argument for cheap, frequent audits.
+"""
+
+from __future__ import annotations
+
+import shutil
+
+import pytest
+
+from repro import Database, DBConfig, FaultInjector
+from repro.bench.reporting import render_table
+from repro.bench.tpcb import TPCBConfig, TPCBWorkload, build_tpcb_database, load_tpcb
+
+WORKLOAD = TPCBConfig(
+    accounts=400, tellers=80, branches=8, operations=400, ops_per_txn=10
+)
+
+LATENCIES = (0, 20, 60, 150, 300)
+
+_spread: dict[int, int] = {}
+
+
+def episode(tmp_path, latency: int) -> int:
+    """Run, corrupt a branch, detect after ``latency`` ops; deleted count."""
+    path = tmp_path / f"lat{latency}"
+    if path.exists():
+        shutil.rmtree(path)
+    config = DBConfig(dir=str(path), scheme="cw_read_logging")
+    db = build_tpcb_database(config, WORKLOAD)
+    load_tpcb(db, WORKLOAD)
+    db.checkpoint()
+    runner = TPCBWorkload(db, WORKLOAD)
+    runner.run(50)
+    FaultInjector(db, seed=31).wild_write(db.table("branch").record_address(2) + 8, 8)
+    runner.run(latency)
+    runner.finish()
+    report = db.audit()
+    assert not report.clean
+    db.crash_with_corruption(report)
+    db2, recovery = Database.recover(config)
+    db2.close()
+    return len(recovery.deleted_set)
+
+
+@pytest.mark.parametrize("latency", LATENCIES)
+def test_spread_at_latency(benchmark, latency, tmp_path):
+    deleted = benchmark.pedantic(
+        lambda: episode(tmp_path, latency), rounds=1, iterations=1
+    )
+    _spread[latency] = deleted
+    benchmark.extra_info["deleted_committed_txns"] = deleted
+
+
+def test_spread_shape(benchmark):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    assert len(_spread) == len(LATENCIES)
+    rows = [
+        [f"{latency} ops", str(_spread[latency])] for latency in LATENCIES
+    ]
+    print()
+    print(
+        render_table(
+            ["Detection latency", "Committed txns deleted"],
+            rows,
+            title="Corruption spread vs detection latency",
+        )
+    )
+    counts = [_spread[latency] for latency in LATENCIES]
+    # Weakly monotone growth with latency...
+    assert all(a <= b for a, b in zip(counts, counts[1:]))
+    # ...with real spread by the longest latency (a corrupt branch is
+    # touched by ~1/8 of operations).
+    assert counts[-1] > counts[0]
+    assert counts[-1] >= 10

@@ -1,0 +1,52 @@
+"""Table 1 / Figure 1: performance of protect/unprotect across platforms.
+
+Reproduces the paper's microbenchmark -- 2000 pages protected then
+unprotected, repeated 50 times -- against the simulated MMU for each
+platform profile, and checks the two claims the paper builds on it:
+
+* mprotect throughput varies by more than an order of magnitude across
+  contemporary workstations;
+* it is uncorrelated with integer performance (the HP 9000 C110 has ~2x
+  the SPECint92 of the SPARCstation 20 but < 1/4 the mprotect rate).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.platforms import PLATFORMS, mprotect_microbenchmark
+from repro.bench.reporting import render_table1
+
+_measured: dict[str, float] = {}
+
+
+@pytest.mark.parametrize("name", list(PLATFORMS))
+def test_table1_row(benchmark, name):
+    profile = PLATFORMS[name]
+
+    def run():
+        return mprotect_microbenchmark(profile, pages=2000, reps=5)
+
+    pairs_per_sec = benchmark.pedantic(run, rounds=1, iterations=1)
+    _measured[name] = pairs_per_sec
+    benchmark.extra_info["pairs_per_sec_virtual"] = round(pairs_per_sec)
+    benchmark.extra_info["pairs_per_sec_paper"] = profile.paper_pairs_per_sec
+    assert pairs_per_sec == pytest.approx(profile.paper_pairs_per_sec, rel=0.02)
+
+
+def test_table1_shape(benchmark):
+    """Cross-platform variance and the SPECint anomaly."""
+
+    def run():
+        return {
+            name: mprotect_microbenchmark(profile, pages=200, reps=5)
+            for name, profile in PLATFORMS.items()
+        }
+
+    measured = benchmark.pedantic(run, rounds=1, iterations=1)
+    fastest = max(measured.values())
+    slowest = min(measured.values())
+    assert fastest / slowest > 10  # >10x spread across platforms
+    assert measured["HP 9000 C110"] < measured["SPARCstation 20"] / 3
+    print()
+    print(render_table1(measured))

@@ -1,0 +1,104 @@
+"""Banking under Read Prechecking: corruption is *prevented*, not just found.
+
+Scenario (the paper's motivating setting): a performance-critical banking
+application is linked into the same address space as the storage manager.
+A bug in the application scribbles over an account record.  With Read
+Prechecking, the next transaction that tries to read that account fails
+its codeword precheck -- the corrupt balance is never served, never used
+to compute an interest payment, never written anywhere else.  Cache
+recovery then repairs the region in place from the checkpoint + log, with
+no downtime.
+
+Run:  python examples/banking_prevention.py
+"""
+
+import shutil
+import tempfile
+
+from repro import Database, DBConfig, FaultInjector, Field, FieldType, Schema
+from repro.errors import CorruptionDetected
+from repro.recovery.cache_recovery import repair_regions
+
+DB_DIR = tempfile.mkdtemp(prefix="repro-banking-")
+
+ACCOUNT = Schema(
+    [
+        Field("acct_no", FieldType.INT64),
+        Field("balance_cents", FieldType.INT64),
+        Field("owner", FieldType.CHAR, 32),
+    ]
+)
+
+# 64-byte protection regions: 6.25% space overhead, ~12% throughput cost
+# (Table 2), in exchange for a hard guarantee that corrupt data is never
+# read by a transaction.
+config = DBConfig(dir=DB_DIR, scheme="precheck", scheme_params={"region_size": 64})
+db = Database(config)
+db.create_table("account", ACCOUNT, capacity=10_000, key_field="acct_no")
+db.start()
+
+accounts = db.table("account")
+txn = db.begin()
+for acct_no in range(100):
+    accounts.insert(
+        txn,
+        {"acct_no": acct_no, "balance_cents": 1_000_00, "owner": f"customer-{acct_no}"},
+    )
+db.commit(txn)
+db.checkpoint()
+
+
+def transfer(db, src_no: int, dst_no: int, cents: int) -> bool:
+    """A transfer transaction; prechecks guard every read it performs."""
+    txn = db.begin()
+    try:
+        src = accounts.lookup(txn, src_no)
+        dst = accounts.lookup(txn, dst_no)
+        accounts.update(txn, src, {"balance_cents": lambda b: b - cents})
+        accounts.update(txn, dst, {"balance_cents": lambda b: b + cents})
+        db.commit(txn)
+        return True
+    except CorruptionDetected as exc:
+        print(f"  transfer blocked: {exc}")
+        db.abort(txn)
+        # Online repair: reload the region from the certified checkpoint
+        # and replay the log over it.  No crash, no restart.
+        repaired = repair_regions(db, exc.region_ids)
+        print(f"  cache recovery repaired {repaired} region(s) in place")
+        return False
+
+
+# Normal operation.
+assert transfer(db, 1, 2, 25_00)
+txn = db.begin()
+print("acct 2 balance:", accounts.read(txn, accounts.lookup(txn, 2)))
+db.commit(txn)
+
+# The co-resident application scribbles over account 7's record.
+event = FaultInjector(db, seed=4).corrupt_record("account", 7)
+print(f"\napplication bug wrote {event.length} bytes over account 7")
+
+# The transfer touching account 7 is BLOCKED -- the corrupt balance is
+# never used -- and the region is repaired online.
+assert not transfer(db, 7, 2, 10_00)
+
+# After repair the same transfer succeeds with the correct balance.
+assert transfer(db, 7, 2, 10_00)
+txn = db.begin()
+row = accounts.read(txn, accounts.lookup(txn, 7))
+db.commit(txn)
+print(f"\naccount 7 after repair + transfer: {row}")
+assert row["balance_cents"] == 1_000_00 - 10_00
+
+# Money never leaked: total balance is conserved.
+txn = db.begin()
+total = sum(
+    accounts.read(txn, slot)["balance_cents"] for slot in accounts.scan_slots(txn)
+)
+db.commit(txn)
+assert total == 100 * 1_000_00
+print(f"total deposits conserved: {total / 100:,.2f}")
+
+db.close()
+shutil.rmtree(DB_DIR)
+print("ok")

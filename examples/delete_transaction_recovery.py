@@ -1,0 +1,122 @@
+"""Tracing indirect corruption with read logging (Section 4).
+
+An inventory system takes orders.  A wild write corrupts one product's
+stock count; a replenishment transaction *reads* the corrupt count and
+writes a purchase order based on it -- indirect, transaction-carried
+corruption.  A later audit catches the direct corruption, the system
+crashes into delete-transaction recovery, and the read-log audit trail
+traces exactly which committed transactions carried the corruption.
+Those transactions are deleted from history and reported to the operator
+for manual compensation; everything else survives.
+
+Run:  python examples/delete_transaction_recovery.py
+"""
+
+import shutil
+import tempfile
+
+from repro import Database, DBConfig, FaultInjector, Field, FieldType, Schema
+
+DB_DIR = tempfile.mkdtemp(prefix="repro-inventory-")
+
+PRODUCT = Schema(
+    [
+        Field("sku", FieldType.INT64),
+        Field("stock", FieldType.INT64),
+        Field("name", FieldType.CHAR, 20),
+    ]
+)
+ORDER = Schema(
+    [
+        Field("order_id", FieldType.INT64),
+        Field("sku", FieldType.INT64),
+        Field("quantity", FieldType.INT64),
+    ]
+)
+
+# cw_read_logging: read records carry checksums, so recovery is precise
+# (view-consistent): only transactions that actually read corrupted
+# values are deleted.
+config = DBConfig(dir=DB_DIR, scheme="cw_read_logging")
+db = Database(config)
+db.create_table("product", PRODUCT, capacity=1000, key_field="sku")
+db.create_table("purchase_order", ORDER, capacity=1000, key_field="order_id")
+db.start()
+
+products = db.table("product")
+orders = db.table("purchase_order")
+
+txn = db.begin()
+for sku in range(20):
+    products.insert(txn, {"sku": sku, "stock": 50, "name": f"widget-{sku}"})
+db.commit(txn)
+db.checkpoint()
+
+# --- normal business ---------------------------------------------------
+txn = db.begin()
+products.update(txn, products.lookup(txn, 3), {"stock": lambda s: s - 5})
+db.commit(txn)
+sale_txn = txn.txn_id
+print(f"T{sale_txn}: sold 5 of widget-3 (clean)")
+
+# --- the addressing error ----------------------------------------------
+slot_7 = 7  # widget-7's slot
+stock_field = PRODUCT.offset_of("stock")
+event = FaultInjector(db, seed=2).wild_write(
+    products.record_address(slot_7) + stock_field, 8
+)
+print(f"wild write corrupted widget-7's stock count at {event.address:#x}")
+
+# --- a transaction CARRIES the corruption -------------------------------
+txn = db.begin()
+bogus_stock = products.read(txn, products.lookup(txn, 7))["stock"]
+orders.insert(
+    txn, {"order_id": 1, "sku": 7, "quantity": max(0, 100 - bogus_stock) % 1000}
+)
+db.commit(txn)
+replenish_txn = txn.txn_id
+print(f"T{replenish_txn}: read bogus stock {bogus_stock}, wrote a purchase order")
+
+# --- an unrelated transaction stays clean --------------------------------
+txn = db.begin()
+products.update(txn, products.lookup(txn, 12), {"stock": lambda s: s + 10})
+db.commit(txn)
+restock_txn = txn.txn_id
+print(f"T{restock_txn}: restocked widget-12 (clean)")
+
+# --- audit, crash, recover ----------------------------------------------
+report = db.audit()
+print(f"\naudit clean: {report.clean}; corrupt regions: {report.corrupt_regions}")
+db.crash_with_corruption(report)
+
+db2, recovery = Database.recover(config)
+print(f"recovery mode: {recovery.mode}")
+print(f"deleted committed transactions: {sorted(recovery.deleted_set)}")
+print(f"recruitment reasons: {recovery.recruited}")
+print(f"writes suppressed during redo: {recovery.writes_suppressed}")
+
+assert recovery.deleted_set == {replenish_txn}, "only the carrier is deleted"
+
+txn = db2.begin()
+p = db2.table("product")
+o = db2.table("purchase_order")
+print("\nafter recovery:")
+print("  widget-7 stock :", p.read(txn, p.lookup(txn, 7))["stock"], "(restored)")
+print("  widget-3 stock :", p.read(txn, p.lookup(txn, 3))["stock"], "(sale kept)")
+print("  widget-12 stock:", p.read(txn, p.lookup(txn, 12))["stock"], "(restock kept)")
+print("  purchase order :", o.lookup(txn, 1), "(carried write removed)")
+assert p.read(txn, p.lookup(txn, 7))["stock"] == 50
+assert p.read(txn, p.lookup(txn, 3))["stock"] == 45
+assert p.read(txn, p.lookup(txn, 12))["stock"] == 60
+assert o.lookup(txn, 1) is None
+db2.commit(txn)
+
+print(
+    f"\noperator action required: manually compensate transaction(s) "
+    f"{sorted(recovery.deleted_set)} (e.g. cancel the purchase order sent "
+    f"to the supplier)"
+)
+
+db2.close()
+shutil.rmtree(DB_DIR)
+print("ok")

@@ -1,0 +1,103 @@
+"""Repairing a fat-fingered transaction with the read-log audit trail.
+
+The paper's abstract: read logging "may also prove useful when resolving
+problems caused by incorrect data entry and other logical errors."  No
+codeword can catch a *legitimate* transaction that entered wrong data --
+but once a human identifies it, the read log traces everything it
+tainted, and the delete-transaction machinery removes the lot.
+
+Scenario: a payroll clerk types a salary of 8,000,000 instead of 80,000.
+A bonus-calculation transaction reads the bad salary and writes a bonus
+based on it.  The operator first *queries* the audit trail to see the
+blast radius, then deletes the bad transaction and its taint.
+
+Run:  python examples/logical_repair.py
+"""
+
+import shutil
+import tempfile
+
+from repro import Database, DBConfig, Field, FieldType, Schema
+from repro.recovery.logical import delete_transactions, trace_readers
+
+DB_DIR = tempfile.mkdtemp(prefix="repro-payroll-")
+
+EMPLOYEE = Schema(
+    [
+        Field("emp_id", FieldType.INT64),
+        Field("salary", FieldType.INT64),
+        Field("bonus", FieldType.INT64),
+        Field("name", FieldType.CHAR, 20),
+    ]
+)
+
+config = DBConfig(dir=DB_DIR, scheme="read_logging")
+db = Database(config)
+db.create_table("employee", EMPLOYEE, capacity=1000, key_field="emp_id")
+db.start()
+
+employees = db.table("employee")
+txn = db.begin()
+for emp_id, name in enumerate(["amara", "boris", "chen", "divya"]):
+    employees.insert(
+        txn, {"emp_id": emp_id, "salary": 80_000, "bonus": 0, "name": name}
+    )
+db.commit(txn)
+db.checkpoint()
+
+# --- the fat-fingered data entry -----------------------------------------
+txn = db.begin()
+slot_boris = employees.lookup(txn, 1)
+employees.update(txn, slot_boris, {"salary": 8_000_000})  # oops: 100x
+db.commit(txn)
+bad_txn = txn.txn_id
+print(f"T{bad_txn}: clerk set boris's salary to 8,000,000 (meant 80,000)")
+
+# --- downstream work based on the bad value -------------------------------
+txn = db.begin()
+salary = employees.read(txn, slot_boris)["salary"]
+employees.update(txn, slot_boris, {"bonus": salary // 10})
+db.commit(txn)
+bonus_txn = txn.txn_id
+print(f"T{bonus_txn}: bonus run computed boris's bonus from the bad salary")
+
+txn = db.begin()
+slot_chen = employees.lookup(txn, 2)
+employees.update(txn, slot_chen, {"bonus": 8_000})
+db.commit(txn)
+clean_txn = txn.txn_id
+print(f"T{clean_txn}: chen's bonus set independently (clean)")
+
+# --- step 1: query the audit trail ----------------------------------------
+boris_range = [(employees.record_address(slot_boris), EMPLOYEE.record_size)]
+readers = trace_readers(db, boris_range)
+print(
+    f"\naudit trail: transactions that read boris's record: "
+    f"{sorted(t for t in readers if t != bad_txn)}"
+)
+
+# --- step 2: delete the bad transaction and its taint ---------------------
+db.crash()
+db2, report = delete_transactions(config, [bad_txn])
+print(f"\nrecovery mode: {report.mode}")
+print(f"deleted from history: {sorted(report.deleted_set)}")
+print(f"reasons: {report.recruited}")
+
+txn = db2.begin()
+e = db2.table("employee")
+boris = e.read(txn, e.lookup(txn, 1))
+chen = e.read(txn, e.lookup(txn, 2))
+db2.commit(txn)
+print(f"\nboris after repair: salary={boris['salary']:,} bonus={boris['bonus']:,}")
+print(f"chen  after repair: bonus={chen['bonus']:,} (untouched)")
+assert boris["salary"] == 80_000 and boris["bonus"] == 0
+assert chen["bonus"] == 8_000
+assert report.deleted_set == {bad_txn, bonus_txn}
+
+print(
+    "\noperator action: re-enter boris's salary correctly and re-run the "
+    "bonus calculation for him."
+)
+db2.close()
+shutil.rmtree(DB_DIR)
+print("ok")

@@ -1,0 +1,77 @@
+"""Quickstart: a protected main-memory database in ~60 lines.
+
+Creates a database with codeword protection and read logging, runs a few
+transactions, detects an injected wild write with an audit, and recovers.
+
+Run:  python examples/quickstart.py
+"""
+
+import shutil
+import tempfile
+
+from repro import Database, DBConfig, FaultInjector, Field, FieldType, Schema
+
+DB_DIR = tempfile.mkdtemp(prefix="repro-quickstart-")
+
+# 1. Define and start a database.  "cw_read_logging" is the paper's most
+# capable scheme: codeword detection of direct corruption plus a read-log
+# audit trail precise enough for view-consistent corruption recovery.
+config = DBConfig(dir=DB_DIR, scheme="cw_read_logging")
+db = Database(config)
+db.create_table(
+    "user",
+    Schema(
+        [
+            Field("uid", FieldType.INT64),
+            Field("karma", FieldType.INT64),
+            Field("name", FieldType.CHAR, 24),
+        ]
+    ),
+    capacity=1000,
+    key_field="uid",
+)
+db.start()
+
+# 2. Transactions: every update goes through the prescribed interface
+# (begin_update/end_update under the hood), so codewords stay consistent.
+users = db.table("user")
+txn = db.begin()
+for uid, name in enumerate(["ada", "grace", "edsger"]):
+    users.insert(txn, {"uid": uid, "karma": 100, "name": name})
+db.commit(txn)
+
+txn = db.begin()
+slot = users.lookup(txn, 1)
+users.update(txn, slot, {"karma": lambda k: k + 42})
+print("grace:", users.read(txn, slot))
+db.commit(txn)
+
+# 3. Checkpoints are audited before the anchor toggles, so the disk image
+# is certified free of corruption.
+result = db.checkpoint()
+print(f"checkpoint image {result.image} certified: {result.certified}")
+
+# 4. An addressing error (wild write) bypasses the prescribed interface...
+event = FaultInjector(db, seed=0).corrupt_record("user", slot)
+print(f"wild write of {event.length} bytes at {event.address:#x}")
+
+# ...and the next audit catches it.
+report = db.audit()
+print(f"audit clean: {report.clean}, corrupt regions: {report.corrupt_regions}")
+
+# 5. Note the corruption, crash, and let delete-transaction recovery
+# produce a consistent image (here nothing read the corrupt data, so no
+# committed transaction needs to be deleted).
+db.crash_with_corruption(report)
+db2, recovery = Database.recover(config)
+print(f"recovery mode: {recovery.mode}, deleted committed txns: "
+      f"{sorted(recovery.deleted_set)}")
+
+txn = db2.begin()
+print("grace after recovery:", db2.table("user").read(txn, slot))
+db2.commit(txn)
+assert db2.audit().clean
+
+db2.close()
+shutil.rmtree(DB_DIR)
+print("ok")

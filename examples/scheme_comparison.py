@@ -1,0 +1,63 @@
+"""Regenerate the paper's tables at a reduced scale.
+
+Prints Table 1 (mprotect performance across platforms) and Table 2 (cost
+of corruption protection on the TPC-B workload), with the paper's
+published numbers alongside.  Scale and output are controlled by two
+environment variables:
+
+  REPRO_SCALE   fraction of the paper's database/operation count
+                (default 0.02; 1.0 = the full 100k-account setup)
+
+Run:  python examples/scheme_comparison.py
+"""
+
+import os
+import shutil
+import tempfile
+import time
+
+from repro.bench.harness import TABLE2_ROWS, run_scheme
+from repro.bench.platforms import PLATFORMS, mprotect_microbenchmark
+from repro.bench.reporting import render_table1, render_table2
+from repro.bench.tpcb import TPCBConfig
+
+SCALE = float(os.environ.get("REPRO_SCALE", "0.02"))
+
+# ---------------------------------------------------------- Table 1
+print("Reproducing Table 1 (protect/unprotect microbenchmark)...\n")
+measured = {
+    name: mprotect_microbenchmark(profile) for name, profile in PLATFORMS.items()
+}
+print(render_table1(measured))
+
+# ---------------------------------------------------------- Table 2
+workload = TPCBConfig().scaled(SCALE)
+print(
+    f"\nReproducing Table 2 at scale {SCALE} "
+    f"({workload.accounts:,} accounts, {workload.operations:,} operations; "
+    f"set REPRO_SCALE=1.0 for the paper's full configuration)...\n"
+)
+
+workdir = tempfile.mkdtemp(prefix="repro-table2-")
+results = []
+baseline = None
+for spec in TABLE2_ROWS:
+    started = time.time()
+    result = run_scheme(spec, workload, os.path.join(workdir, spec.scheme_dir()))
+    if baseline is None:
+        baseline = result.ops_per_sec
+        result.slowdown_pct = 0.0
+    else:
+        result.slowdown_pct = 100.0 * (1.0 - result.ops_per_sec / baseline)
+    results.append(result)
+    print(f"  {spec.label:32s} done in {time.time() - started:5.1f}s wall")
+
+print()
+print(render_table2(results))
+
+print(
+    "\nOps/Sec above is virtual-time throughput from the calibrated cost "
+    "model\n(event counts measured from the real implementation; see "
+    "DESIGN.md)."
+)
+shutil.rmtree(workdir)

@@ -1,0 +1,73 @@
+"""repro: reproduction of "Using Codewords to Protect Database Data from a
+Class of Software Errors" (Bohannon, Rastogi, Seshadri, Silberschatz,
+Sudarshan; ICDE 1999).
+
+A main-memory storage manager in the style of Dali -- in-place updates,
+local per-transaction logging, multi-level recovery, ping-pong
+checkpointing -- with the paper's codeword protection schemes layered on
+the prescribed ``begin_update``/``end_update``/``read`` interface, fault
+injection for addressing errors, and delete-transaction corruption
+recovery.
+
+Public entry points::
+
+    from repro import Database, DBConfig, Schema, Field, FieldType
+    from repro import FaultInjector
+    from repro.bench import tpcb
+"""
+
+from repro.errors import (
+    AuditFailure,
+    CheckpointError,
+    ConfigError,
+    CorruptionDetected,
+    LatchError,
+    LockError,
+    LogError,
+    MemoryError_,
+    OutOfSpaceError,
+    ProtectionFault,
+    RecoveryError,
+    ReproError,
+    TransactionAborted,
+    TransactionError,
+    WorkloadError,
+)
+from repro.faults import CorruptionEvent, FaultInjector
+from repro.storage import Database, DBConfig, Field, FieldType, Schema, Table
+from repro.core import SCHEME_NAMES, make_scheme
+from repro.sim import CostModel, DEFAULT_COSTS, VirtualClock
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Database",
+    "DBConfig",
+    "Schema",
+    "Field",
+    "FieldType",
+    "Table",
+    "FaultInjector",
+    "CorruptionEvent",
+    "make_scheme",
+    "SCHEME_NAMES",
+    "CostModel",
+    "DEFAULT_COSTS",
+    "VirtualClock",
+    # errors
+    "ReproError",
+    "ConfigError",
+    "MemoryError_",
+    "OutOfSpaceError",
+    "ProtectionFault",
+    "CorruptionDetected",
+    "AuditFailure",
+    "LatchError",
+    "LockError",
+    "TransactionError",
+    "TransactionAborted",
+    "LogError",
+    "RecoveryError",
+    "CheckpointError",
+    "WorkloadError",
+]

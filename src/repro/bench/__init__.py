@@ -1,0 +1,39 @@
+"""Benchmark substrate: platform profiles, TPC-B workload, harness, reports."""
+
+from repro.bench.platforms import (
+    PLATFORMS,
+    PlatformProfile,
+    mprotect_microbenchmark,
+)
+from repro.bench.tpcb import TPCBConfig, TPCBWorkload, build_tpcb_database, load_tpcb
+from repro.bench.harness import (
+    TABLE2_ROWS,
+    RunResult,
+    SchemeSpec,
+    run_scheme,
+    run_table2,
+)
+from repro.bench.mixes import MixConfig, MixWorkload, build_mix_database, run_mix
+from repro.bench.reporting import render_table, render_table1, render_table2
+
+__all__ = [
+    "PLATFORMS",
+    "PlatformProfile",
+    "mprotect_microbenchmark",
+    "TPCBConfig",
+    "TPCBWorkload",
+    "build_tpcb_database",
+    "load_tpcb",
+    "SchemeSpec",
+    "RunResult",
+    "TABLE2_ROWS",
+    "run_scheme",
+    "run_table2",
+    "render_table",
+    "render_table1",
+    "render_table2",
+    "MixConfig",
+    "MixWorkload",
+    "build_mix_database",
+    "run_mix",
+]

@@ -1,0 +1,128 @@
+"""Command-line entry point: regenerate the paper's tables.
+
+Usage::
+
+    python -m repro.bench                 # Table 1 + Table 2 at scale 0.02
+    python -m repro.bench --table 2 --scale 0.1
+    python -m repro.bench --table 1
+    python -m repro.bench --sweep         # region-size ablation series
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import shutil
+import tempfile
+
+from repro.bench.harness import SchemeSpec, TABLE2_ROWS, run_scheme
+from repro.bench.platforms import PLATFORMS, mprotect_microbenchmark
+from repro.bench.reporting import render_table, render_table1, render_table2
+from repro.bench.tpcb import TPCBConfig
+
+
+def print_table1() -> None:
+    measured = {
+        name: mprotect_microbenchmark(profile)
+        for name, profile in PLATFORMS.items()
+    }
+    print(render_table1(measured))
+
+
+def print_table2(scale: float) -> None:
+    workload = TPCBConfig().scaled(scale)
+    print(
+        f"TPC-B at scale {scale}: {workload.accounts:,} accounts, "
+        f"{workload.operations:,} operations\n"
+    )
+    workdir = tempfile.mkdtemp(prefix="repro-bench-")
+    try:
+        results = []
+        baseline = None
+        for spec in TABLE2_ROWS:
+            result = run_scheme(
+                spec, workload, os.path.join(workdir, spec.scheme_dir())
+            )
+            if baseline is None:
+                baseline = result.ops_per_sec
+                result.slowdown_pct = 0.0
+            else:
+                result.slowdown_pct = 100.0 * (1.0 - result.ops_per_sec / baseline)
+            results.append(result)
+        print(render_table2(results))
+    finally:
+        shutil.rmtree(workdir)
+
+
+def print_region_sweep(scale: float) -> None:
+    workload = TPCBConfig().scaled(scale)
+    workdir = tempfile.mkdtemp(prefix="repro-sweep-")
+    try:
+        baseline = run_scheme(
+            SchemeSpec("Baseline", "baseline"),
+            workload,
+            os.path.join(workdir, "baseline"),
+        )
+        rows = []
+        for size in (32, 64, 128, 256, 512, 1024, 2048, 4096, 8192):
+            spec = SchemeSpec(f"{size} B", "precheck", {"region_size": size})
+            result = run_scheme(
+                spec, workload, os.path.join(workdir, spec.scheme_dir())
+            )
+            slowdown = 100.0 * (1.0 - result.ops_per_sec / baseline.ops_per_sec)
+            rows.append(
+                [
+                    f"{size} B",
+                    f"{result.ops_per_sec:,.0f}",
+                    f"{slowdown:.1f}%",
+                    f"{result.space_overhead_pct:.3f}%",
+                ]
+            )
+        print(
+            render_table(
+                ["Region size", "Ops/Sec", "% Slower", "Space overhead"],
+                rows,
+                title="Read Prechecking region-size sweep",
+            )
+        )
+    finally:
+        shutil.rmtree(workdir)
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.bench",
+        description="Regenerate the tables of the ICDE 1999 codeword paper.",
+    )
+    parser.add_argument(
+        "--table",
+        choices=["1", "2", "all"],
+        default="all",
+        help="which table to reproduce (default: all)",
+    )
+    parser.add_argument(
+        "--scale",
+        type=float,
+        default=0.02,
+        help="TPC-B scale factor; 1.0 = the paper's 100k accounts (default 0.02)",
+    )
+    parser.add_argument(
+        "--sweep",
+        action="store_true",
+        help="also print the region-size ablation sweep",
+    )
+    args = parser.parse_args(argv)
+
+    if args.table in ("1", "all"):
+        print_table1()
+        print()
+    if args.table in ("2", "all"):
+        print_table2(args.scale)
+    if args.sweep:
+        print()
+        print_region_sweep(args.scale)
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,79 @@
+"""Plain-text rendering of the reproduced tables.
+
+The benchmark targets print the same rows the paper reports, with the
+paper's published values alongside for eyeball comparison.
+"""
+
+from __future__ import annotations
+
+from repro.bench.harness import RunResult
+from repro.bench.platforms import PLATFORMS, PlatformProfile
+
+
+def render_table(headers: list[str], rows: list[list[str]], title: str = "") -> str:
+    """Render an aligned text table."""
+    widths = [len(h) for h in headers]
+    for row in rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+
+    def line(cells: list[str]) -> str:
+        return "  ".join(cell.ljust(widths[i]) for i, cell in enumerate(cells)).rstrip()
+
+    parts = []
+    if title:
+        parts.append(title)
+    parts.append(line(headers))
+    parts.append(line(["-" * w for w in widths]))
+    parts.extend(line(row) for row in rows)
+    return "\n".join(parts)
+
+
+def render_table1(measured: dict[str, float]) -> str:
+    """Table 1: protect/unprotect pairs per second per platform."""
+    rows = []
+    for name, pairs in measured.items():
+        profile: PlatformProfile = PLATFORMS[name]
+        rows.append(
+            [
+                name,
+                f"{pairs:,.0f}",
+                f"{profile.paper_pairs_per_sec:,}",
+                f"{profile.specint92:.1f}" if profile.specint92 else "-",
+            ]
+        )
+    return render_table(
+        ["Platform", "pairs/sec (measured)", "pairs/sec (paper)", "SPECint92"],
+        rows,
+        title="Table 1. Performance of Protect/Unprotect",
+    )
+
+
+def render_table2(results: list[RunResult]) -> str:
+    """Table 2: cost of corruption protection, paper values alongside."""
+    rows = []
+    for r in results:
+        rows.append(
+            [
+                r.label,
+                f"{r.ops_per_sec:,.0f}",
+                f"{r.slowdown_pct:.1f}%" if r.slowdown_pct is not None else "-",
+                f"{r.paper_ops_per_sec:,.0f}" if r.paper_ops_per_sec else "-",
+                f"{r.paper_slowdown_pct:.1f}%"
+                if r.paper_slowdown_pct is not None
+                else "-",
+                f"{r.space_overhead_pct:.2f}%",
+            ]
+        )
+    return render_table(
+        [
+            "Algorithm",
+            "Ops/Sec",
+            "% Slower",
+            "Ops/Sec (paper)",
+            "% Slower (paper)",
+            "Space ovh",
+        ],
+        rows,
+        title="Table 2. Cost of Corruption Protection",
+    )

@@ -1,0 +1,37 @@
+"""Codeword protection: the paper's primary contribution.
+
+The public surface is the :class:`~repro.core.schemes.ProtectionScheme`
+family; :func:`~repro.core.schemes.make_scheme` builds one by name.
+"""
+
+from repro.core.codeword import fold_words, positioned_fold
+from repro.core.regions import CodewordTable
+from repro.core.schemes import (
+    BaselineScheme,
+    ProtectionScheme,
+    SCHEME_NAMES,
+    make_scheme,
+)
+from repro.core.precheck import ReadPrecheckScheme
+from repro.core.data_codeword import DataCodewordScheme
+from repro.core.read_logging import ReadLoggingScheme
+from repro.core.hardware import HardwareProtectionScheme
+from repro.core.deferred import DeferredMaintenanceScheme
+from repro.core.audit import AuditReport, Auditor
+
+__all__ = [
+    "fold_words",
+    "positioned_fold",
+    "CodewordTable",
+    "ProtectionScheme",
+    "BaselineScheme",
+    "ReadPrecheckScheme",
+    "DataCodewordScheme",
+    "ReadLoggingScheme",
+    "HardwareProtectionScheme",
+    "DeferredMaintenanceScheme",
+    "Auditor",
+    "AuditReport",
+    "make_scheme",
+    "SCHEME_NAMES",
+]

@@ -1,0 +1,66 @@
+"""XOR codeword arithmetic.
+
+"In our implementations, the codeword is the bitwise exclusive-or of the
+words in the region.  Thus the i'th bit of the codeword represents the
+parity of the i'th bit of each word in the region." (Section 3)
+
+Words are 32-bit little-endian.  Two properties make maintenance cheap:
+
+* folding is associative/commutative, so a region's codeword can be
+  updated incrementally from just the old and new images of the bytes that
+  changed: ``cw ^= fold(old) ^ fold(new)``;
+* bytes outside the updated range contribute identically before and after,
+  so they can be treated as zero -- :func:`positioned_fold` places the
+  changed bytes at their offset within their word and pads with zeros,
+  which keeps unaligned updates exact without reading neighbouring memory.
+"""
+
+from __future__ import annotations
+
+import struct
+
+import numpy as np
+
+WORD = 4
+_NUMPY_THRESHOLD = 256  # below this, a Python loop beats numpy's call overhead
+
+CODEWORD_MASK = 0xFFFFFFFF
+
+
+def fold_words(data: bytes) -> int:
+    """XOR-fold ``data`` as 32-bit little-endian words.
+
+    Data whose length is not a multiple of four is zero-padded at the end,
+    which matches how a region at the very end of the image is folded.
+    """
+    remainder = len(data) % WORD
+    if remainder:
+        data = data + b"\x00" * (WORD - remainder)
+    if not data:
+        return 0
+    if len(data) >= _NUMPY_THRESHOLD:
+        words = np.frombuffer(data, dtype="<u4")
+        return int(np.bitwise_xor.reduce(words))
+    codeword = 0
+    for (word,) in struct.iter_unpack("<I", data):
+        codeword ^= word
+    return codeword
+
+
+def positioned_fold(address: int, data: bytes) -> int:
+    """Fold ``data`` as it sits in memory at ``address``.
+
+    A byte at offset ``k`` within its 32-bit word contributes
+    ``byte << (8 * k)`` to that word's value; prepending ``address % 4``
+    zero bytes reproduces that positioning, so the fold of an unaligned
+    update is exact without touching unchanged neighbours.
+    """
+    lead = address % WORD
+    if lead:
+        data = b"\x00" * lead + data
+    return fold_words(data)
+
+
+def word_count(length: int) -> int:
+    """Number of 32-bit words covering ``length`` bytes."""
+    return (length + WORD - 1) // WORD

@@ -1,0 +1,66 @@
+"""Deferred codeword maintenance (extension).
+
+Section 4.3 refers to "the audit procedure for the Deferred Maintenance
+codeword scheme" from the authors' longer technical report: instead of
+folding every update into the codeword table inside the update window, the
+per-region deltas are accumulated in a side buffer and applied in batch
+when an audit (or checkpoint) needs consistent codewords.
+
+The tradeoff implemented here:
+
+* per-update cost drops (no codeword latch, no per-update table write --
+  just the fold of the changed words into a buffered delta);
+* the stored codewords are stale between audits, so every audit first
+  *flushes* the pending deltas under the protection latch;
+* a wild write is still detected, because it changes region content
+  without contributing a pending delta.
+
+This scheme is not a Table 2 row; it backs Ablation C in EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+from repro.core.data_codeword import DataCodewordScheme
+
+
+class DeferredMaintenanceScheme(DataCodewordScheme):
+    """Batch codeword maintenance at audit time."""
+
+    name = "deferred"
+    uses_codeword_latch = False  # deltas are applied in batch under audit latch
+
+    def __init__(self, region_size: int = 65536) -> None:
+        super().__init__(region_size)
+        self._pending: dict[int, int] = {}
+        self.flush_count = 0
+
+    def _cw_apply(self, address: int, old_image: bytes, new_image: bytes) -> None:
+        assert self._table is not None and self.meter is not None
+        for region_id, delta, words in self._table.compute_deltas(
+            address, old_image, new_image
+        ):
+            self._pending[region_id] = self._pending.get(region_id, 0) ^ delta
+            self.meter.charge("cw_maint_word", words)
+            self.meter.charge("deferred_update")
+
+    def flush_pending(self) -> int:
+        """Apply accumulated deltas to the codeword table."""
+        assert self._table is not None and self.meter is not None
+        applied = 0
+        for region_id, delta in self._pending.items():
+            latch = self.protection_latches.latch(region_id)
+            with latch.exclusive():
+                self.meter.charge("latch_pair")
+                self._table.apply_delta(region_id, delta)
+                applied += 1
+        self._pending.clear()
+        self.flush_count += 1
+        return applied
+
+    def audit_regions(self, region_ids=None) -> list[int]:
+        self.flush_pending()
+        return super().audit_regions(region_ids)
+
+    @property
+    def pending_region_count(self) -> int:
+        return len(self._pending)

@@ -1,0 +1,300 @@
+"""The protection scheme framework.
+
+A :class:`ProtectionScheme` hooks the three points of the prescribed
+update model (Section 1): reads, ``begin_update`` and ``end_update``.  The
+transaction manager calls the hooks; the scheme maintains whatever state
+(codeword tables, protection latches, MMU protection bits) its level of
+protection requires and charges its costs to the shared meter.
+
+Scheme capability metadata mirrors the "Corruption: Direct / Indirect"
+columns of Table 2 of the paper.
+"""
+
+from __future__ import annotations
+
+from abc import ABC
+
+from repro.core.codeword import fold_words, word_count
+from repro.core.regions import CodewordTable
+from repro.errors import ConfigError
+from repro.mem.memory import MemoryImage
+from repro.sim.clock import Meter
+from repro.txn.latches import LatchTable, EXCLUSIVE, SHARED
+from repro.txn.transaction import Transaction
+from repro.wal.local_log import PhysicalUndo
+
+
+class ProtectionScheme(ABC):
+    """Base class: the baseline behaviour is 'do nothing, cost nothing'."""
+
+    name = "abstract"
+    direct_protection = "none"    # "none" | "detect" | "prevent"
+    indirect_protection = "none"  # "none" | "prevent" | "detect+correct"
+    uses_codewords = False
+    logs_reads = False
+    logs_read_checksums = False
+
+    def __init__(self) -> None:
+        self.memory: MemoryImage | None = None
+        self.meter: Meter | None = None
+
+    def attach(self, memory: MemoryImage, meter: Meter) -> None:
+        """Bind the scheme to a database's memory image and cost meter."""
+        self.memory = memory
+        self.meter = meter
+
+    def startup(self) -> None:
+        """Called once the image is formatted or recovered."""
+
+    # ------------------------------------------------------------ hooks
+
+    def on_read(self, txn: Transaction, address: int, length: int) -> None:
+        """Called before every prescribed read."""
+
+    def on_begin_update(self, txn: Transaction, address: int, length: int) -> None:
+        """Called when an update window opens."""
+
+    def on_end_update(
+        self, txn: Transaction, address: int, old_image: bytes, new_image: bytes
+    ) -> int | None:
+        """Called when an update window closes.
+
+        Returns an optional checksum of the *old* image to store in the
+        update's redo record (the codewords-in-write-records extension of
+        Section 4.3); ``None`` for schemes that do not log it.
+        """
+        return None
+
+    def close_update_window(self, txn: Transaction, address: int, length: int) -> None:
+        """Release window resources without normal end-of-update work.
+
+        Used when a window is abandoned by a rollback before
+        ``end_update`` ran (the codeword_applied=False path of
+        Section 3.1).
+        """
+
+    def on_operation_end(self, txn: Transaction) -> None:
+        """Called at operation commit/abort (clears per-op scheme caches)."""
+
+    def apply_physical_undo(self, txn: Transaction | None, entry: PhysicalUndo) -> None:
+        """Restore a physical before-image during rollback."""
+        assert self.memory is not None
+        self.memory.write(entry.address, entry.image)
+
+    # ------------------------------------------------------------ audit
+
+    def audit_regions(self, region_ids=None) -> list[int]:
+        """Return corrupt region ids; schemes without codewords see none."""
+        return []
+
+    @property
+    def codeword_table(self) -> CodewordTable | None:
+        return None
+
+    @property
+    def space_overhead(self) -> float:
+        """Extra bytes per data byte this scheme needs."""
+        return 0.0
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"{type(self).__name__}(name={self.name!r})"
+
+
+class BaselineScheme(ProtectionScheme):
+    """No corruption protection at all -- the Table 2 baseline row."""
+
+    name = "baseline"
+
+
+class CodewordSchemeBase(ProtectionScheme):
+    """Shared machinery for every codeword-maintaining scheme.
+
+    Owns the codeword table and the per-region protection latches, and
+    implements incremental maintenance at ``end_update`` plus
+    codeword-aware physical undo.
+    """
+
+    uses_codewords = True
+    direct_protection = "detect"
+    # Updaters hold the protection latch in this mode during the window.
+    update_latch_mode = SHARED
+    # Whether a separate codeword latch guards the table (Section 3.2).
+    uses_codeword_latch = True
+
+    def __init__(self, region_size: int) -> None:
+        super().__init__()
+        self.region_size = region_size
+        self._table: CodewordTable | None = None
+        self.protection_latches = LatchTable("protection")
+        self.codeword_latches = LatchTable("codeword")
+
+    def attach(self, memory: MemoryImage, meter: Meter) -> None:
+        super().attach(memory, meter)
+        self._table = CodewordTable(memory, self.region_size)
+
+    def startup(self) -> None:
+        assert self._table is not None
+        self._table.rebuild_all()
+
+    @property
+    def codeword_table(self) -> CodewordTable | None:
+        return self._table
+
+    @property
+    def space_overhead(self) -> float:
+        return self._table.space_overhead if self._table else 4.0 / self.region_size
+
+    # ---------------------------------------------------------- windows
+
+    def on_begin_update(self, txn: Transaction, address: int, length: int) -> None:
+        assert self._table is not None and self.meter is not None
+        latches = []
+        for region_id in self._table.regions_spanning(address, length):
+            latch = self.protection_latches.latch(region_id)
+            latch.acquire(self.update_latch_mode)
+            self.meter.charge("latch_pair")
+            latches.append(latch)
+        txn.scheme_state.setdefault("window_latches", []).extend(latches)
+
+    def on_end_update(
+        self, txn: Transaction, address: int, old_image: bytes, new_image: bytes
+    ) -> int | None:
+        assert self._table is not None and self.meter is not None
+        checksum = self._maintain(txn, address, old_image, new_image)
+        self._release_window_latches(txn)
+        return checksum
+
+    def _maintain(
+        self, txn: Transaction, address: int, old_image: bytes, new_image: bytes
+    ) -> int | None:
+        """Update codewords for an in-place update; returns optional checksum."""
+        if self.uses_codeword_latch:
+            for region_id in self._table.regions_spanning(address, len(old_image)):
+                latch = self.codeword_latches.latch(region_id)
+                with latch.exclusive():
+                    self.meter.charge("latch_pair")
+        self._cw_apply(address, old_image, new_image)
+        return None
+
+    def _cw_apply(self, address: int, old_image: bytes, new_image: bytes) -> None:
+        """Fold an update into the codeword table (overridden by deferred)."""
+        words = self._table.apply_update(address, old_image, new_image)
+        self.meter.charge("cw_maint_fixed")
+        self.meter.charge("cw_maint_word", words)
+
+    def close_update_window(self, txn: Transaction, address: int, length: int) -> None:
+        self._release_window_latches(txn)
+
+    def _release_window_latches(self, txn: Transaction) -> None:
+        for latch in txn.scheme_state.pop("window_latches", []):
+            latch.release()
+
+    # ------------------------------------------------------------- undo
+
+    def apply_physical_undo(self, txn: Transaction | None, entry: PhysicalUndo) -> None:
+        """Restore a before-image, fixing the codeword iff it was applied.
+
+        If the update window never reached ``end_update``
+        (``codeword_applied`` False), the stored codeword still matches the
+        *old* content, so restoring it must leave the codeword alone
+        (Section 3.1).
+        """
+        assert self._table is not None and self.memory is not None
+        regions = self._table.regions_spanning(entry.address, len(entry.image))
+        latches = [self.protection_latches.latch(r) for r in regions]
+        for latch in latches:
+            latch.acquire(EXCLUSIVE)
+            self.meter.charge("latch_pair")
+        try:
+            if entry.codeword_applied:
+                current = self.memory.read(entry.address, len(entry.image))
+                self._cw_apply(entry.address, current, entry.image)
+            self.memory.write(entry.address, entry.image)
+        finally:
+            for latch in latches:
+                latch.release()
+
+    # ------------------------------------------------------------ audit
+
+    def audit_regions(self, region_ids=None) -> list[int]:
+        """Check codewords against content; returns mismatching regions.
+
+        The protection latch is taken in exclusive mode per region to get
+        a consistent view of region and codeword (Section 3.2).
+        """
+        assert self._table is not None
+        ids = region_ids if region_ids is not None else range(self._table.region_count)
+        corrupt = []
+        for region_id in ids:
+            latch = self.protection_latches.latch(region_id)
+            with latch.exclusive():
+                self.meter.charge("latch_pair")
+                _start, length = self._table.region_bounds(region_id)
+                self.meter.charge("cw_check_fixed")
+                self.meter.charge("cw_check_word", word_count(length))
+                if not self._table.matches(region_id):
+                    corrupt.append(region_id)
+        return corrupt
+
+    def checksum_of(self, data: bytes, charge: bool = True) -> int:
+        """Checksum a read value (used by read logging with codewords)."""
+        if charge:
+            self.meter.charge("checksum_word", word_count(len(data)))
+        return fold_words(data)
+
+
+SCHEME_NAMES = (
+    "baseline",
+    "data_cw",
+    "precheck",
+    "read_logging",
+    "cw_read_logging",
+    "hardware",
+    "deferred",
+)
+
+
+def make_scheme(name: str, **params) -> ProtectionScheme:
+    """Build a protection scheme by name.
+
+    Parameters
+    ----------
+    name:
+        One of :data:`SCHEME_NAMES`.
+    params:
+        ``region_size`` for codeword schemes (default 64 for ``precheck``,
+        65536 for audit-based schemes); ``platform`` (a
+        :class:`~repro.bench.platforms.PlatformProfile`) or
+        ``mprotect_costs`` for ``hardware``.
+    """
+    from repro.core.data_codeword import DataCodewordScheme
+    from repro.core.deferred import DeferredMaintenanceScheme
+    from repro.core.hardware import HardwareProtectionScheme
+    from repro.core.precheck import ReadPrecheckScheme
+    from repro.core.read_logging import ReadLoggingScheme
+
+    if name == "baseline":
+        return BaselineScheme()
+    if name == "data_cw":
+        return DataCodewordScheme(region_size=params.pop("region_size", 65536), **params)
+    if name == "precheck":
+        return ReadPrecheckScheme(region_size=params.pop("region_size", 64), **params)
+    if name == "read_logging":
+        return ReadLoggingScheme(
+            region_size=params.pop("region_size", 65536),
+            log_checksums=params.pop("log_checksums", False),
+            **params,
+        )
+    if name == "cw_read_logging":
+        return ReadLoggingScheme(
+            region_size=params.pop("region_size", 65536),
+            log_checksums=params.pop("log_checksums", True),
+            **params,
+        )
+    if name == "hardware":
+        return HardwareProtectionScheme(**params)
+    if name == "deferred":
+        return DeferredMaintenanceScheme(
+            region_size=params.pop("region_size", 65536), **params
+        )
+    raise ConfigError(f"unknown protection scheme {name!r}; choose from {SCHEME_NAMES}")

@@ -1,0 +1,103 @@
+"""Exception hierarchy for the repro storage manager.
+
+Every error raised by this package derives from :class:`ReproError`, so
+callers can catch one base class at an API boundary.  Corruption-related
+conditions carry enough structure (addresses, region ids, transaction ids)
+for the recovery machinery to act on them programmatically.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro package."""
+
+
+class ConfigError(ReproError):
+    """Invalid configuration (bad region size, page size, scheme name...)."""
+
+
+class MemoryError_(ReproError):
+    """Address-space violation inside the simulated memory image."""
+
+
+class OutOfSpaceError(MemoryError_):
+    """A segment or allocator has no room for the requested allocation."""
+
+
+class ProtectionFault(ReproError):
+    """A write hit a hardware-protected page (simulated mprotect trap).
+
+    Under the Hardware Protection scheme this is the SIGSEGV-equivalent:
+    the offending write is *not* performed.
+    """
+
+    def __init__(self, address: int, length: int, page_id: int):
+        super().__init__(
+            f"write of {length} bytes at address {address:#x} trapped on "
+            f"protected page {page_id}"
+        )
+        self.address = address
+        self.length = length
+        self.page_id = page_id
+
+
+class CorruptionDetected(ReproError):
+    """A codeword check failed: region content no longer matches codeword."""
+
+    def __init__(self, region_ids: list[int], context: str = ""):
+        ids = ", ".join(str(r) for r in region_ids)
+        suffix = f" during {context}" if context else ""
+        super().__init__(f"codeword mismatch in region(s) [{ids}]{suffix}")
+        self.region_ids = list(region_ids)
+        self.context = context
+
+
+class AuditFailure(CorruptionDetected):
+    """An asynchronous audit found corrupt regions.
+
+    Carries the log sequence number of the last *clean* audit (``Audit_SN``
+    in the paper) so corruption recovery knows the window in which the
+    error could have occurred.
+    """
+
+    def __init__(self, region_ids: list[int], clean_audit_lsn: int):
+        super().__init__(region_ids, context="audit")
+        self.clean_audit_lsn = clean_audit_lsn
+
+
+class LatchError(ReproError):
+    """Latch misuse: double release, upgrade deadlock, wrong owner."""
+
+
+class LockError(ReproError):
+    """Logical lock misuse or (in tests) an induced lock conflict."""
+
+
+class TransactionError(ReproError):
+    """Transaction state machine violation (e.g. update after commit)."""
+
+
+class TransactionAborted(TransactionError):
+    """The transaction was rolled back; carries the abort reason."""
+
+    def __init__(self, txn_id: int, reason: str):
+        super().__init__(f"transaction {txn_id} aborted: {reason}")
+        self.txn_id = txn_id
+        self.reason = reason
+
+
+class LogError(ReproError):
+    """Log codec or sequencing error (bad record, LSN out of order...)."""
+
+
+class RecoveryError(ReproError):
+    """Restart or corruption recovery could not complete."""
+
+
+class CheckpointError(ReproError):
+    """Checkpoint could not be written or certified."""
+
+
+class WorkloadError(ReproError):
+    """Benchmark workload misconfiguration."""

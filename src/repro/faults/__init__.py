@@ -1,0 +1,5 @@
+"""Fault injection: the addressing errors the paper defends against."""
+
+from repro.faults.injector import CorruptionEvent, FaultInjector
+
+__all__ = ["FaultInjector", "CorruptionEvent"]

@@ -1,0 +1,119 @@
+"""Addressing-error injection.
+
+"One class of software error which has been shown to have a significant
+impact on DBMS availability is the addressing error.  This class of error
+includes copy overruns and wild writes through uninitialized pointers."
+(Section 1)
+
+The injector writes through :meth:`~repro.mem.memory.MemoryImage.poke`:
+no logging, no codeword maintenance, no dirty tracking -- but the
+simulated MMU still sees the write, so under the Hardware Protection
+scheme an injected fault raises :class:`~repro.errors.ProtectionFault`
+and the corruption is *prevented*, exactly as in the paper's model.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import TYPE_CHECKING
+
+from repro.errors import ConfigError
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.storage.database import Database
+
+
+@dataclass(frozen=True)
+class CorruptionEvent:
+    """A record of one injected fault (ground truth for tests)."""
+
+    kind: str
+    address: int
+    old: bytes
+    new: bytes
+
+    @property
+    def length(self) -> int:
+        return len(self.new)
+
+
+class FaultInjector:
+    """Injects direct physical corruption into a database image."""
+
+    def __init__(self, db: "Database", seed: int | None = None) -> None:
+        self.db = db
+        self.rng = random.Random(seed)
+        self.events: list[CorruptionEvent] = []
+
+    # ------------------------------------------------------------ faults
+
+    def wild_write(
+        self,
+        address: int | None = None,
+        length: int = 8,
+        data: bytes | None = None,
+    ) -> CorruptionEvent:
+        """A stray pointer write: random bytes at a (random) address."""
+        if address is None:
+            address = self._random_address(length)
+        if data is None:
+            data = self._differing_bytes(address, length)
+        elif len(data) != length:
+            length = len(data)
+        old = self.db.memory.read(address, length)
+        self.db.memory.poke(address, data)
+        event = CorruptionEvent("wild_write", address, old, data)
+        self.events.append(event)
+        return event
+
+    def bit_flip(self, address: int | None = None) -> CorruptionEvent:
+        """Flip one random bit of one byte."""
+        if address is None:
+            address = self._random_address(1)
+        old = self.db.memory.read(address, 1)
+        flipped = bytes([old[0] ^ (1 << self.rng.randrange(8))])
+        self.db.memory.poke(address, flipped)
+        event = CorruptionEvent("bit_flip", address, old, flipped)
+        self.events.append(event)
+        return event
+
+    def copy_overrun(self, table: str, slot: int, overrun: int = 16) -> CorruptionEvent:
+        """A memcpy that runs ``overrun`` bytes past the end of a record.
+
+        The bytes *within* the record are left alone (the copy itself was
+        legitimate); the bytes past its end are clobbered.
+        """
+        if overrun <= 0:
+            raise ConfigError("overrun must be positive")
+        tbl = self.db.table(table)
+        end = tbl.record_address(slot) + tbl.schema.record_size
+        data = self._differing_bytes(end, overrun)
+        old = self.db.memory.read(end, overrun)
+        self.db.memory.poke(end, data)
+        event = CorruptionEvent("copy_overrun", end, old, data)
+        self.events.append(event)
+        return event
+
+    def corrupt_record(self, table: str, slot: int) -> CorruptionEvent:
+        """Wild-write directly over a specific record (targeted tests)."""
+        tbl = self.db.table(table)
+        address = tbl.record_address(slot)
+        return self.wild_write(address, tbl.schema.record_size)
+
+    # ----------------------------------------------------------- helpers
+
+    def _random_address(self, length: int) -> int:
+        data_segments = [s for s in self.db.memory.segments if s.kind == "data"]
+        if not data_segments:
+            raise ConfigError("no data segments to corrupt")
+        segment = self.rng.choice(data_segments)
+        return segment.base + self.rng.randrange(max(1, segment.size - length))
+
+    def _differing_bytes(self, address: int, length: int) -> bytes:
+        """Random bytes guaranteed to differ from current content."""
+        current = self.db.memory.read(address, length)
+        while True:
+            data = bytes(self.rng.randrange(256) for _ in range(length))
+            if data != current:
+                return data

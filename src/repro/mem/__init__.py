@@ -1,0 +1,20 @@
+"""Main-memory database image: segments, pages, allocation, simulated MMU."""
+
+from repro.mem.memory import MemoryImage, Segment
+from repro.mem.pages import PAGE_SIZE_DEFAULT, DirtyPageTable, page_range, page_span
+from repro.mem.mprotect import MprotectCosts, SimulatedMMU, PROT_READ, PROT_READWRITE
+from repro.mem.allocator import SlotAllocator
+
+__all__ = [
+    "MemoryImage",
+    "Segment",
+    "PAGE_SIZE_DEFAULT",
+    "DirtyPageTable",
+    "page_range",
+    "page_span",
+    "SimulatedMMU",
+    "MprotectCosts",
+    "PROT_READ",
+    "PROT_READWRITE",
+    "SlotAllocator",
+]

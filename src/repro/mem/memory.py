@@ -1,0 +1,205 @@
+"""The flat in-memory database image.
+
+The image is a set of named :class:`Segment` objects laid out in one flat
+address space.  Following Dali's layout (Section 2), *control* information
+(allocation bitmaps, table headers) lives in segments separate from tuple
+data -- this is what makes a TPC-B operation touch many more pages than
+tuples and is load-bearing for the hardware-protection results.
+
+Three write paths exist, mirroring the paper's threat model:
+
+* :meth:`MemoryImage.write` -- the prescribed path used by the storage
+  manager.  Subject to the simulated MMU (a protected page traps) and
+  noted in the dirty page table.
+* :meth:`MemoryImage.poke` -- an *addressing error*: a wild write that
+  bypasses logging and dirty tracking entirely.  It still traps on a
+  hardware-protected page, because the MMU does not care about intent.
+* checkpoint restore -- bulk replacement of segment contents during
+  recovery, below the MMU.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Iterator
+
+from repro.errors import ConfigError, MemoryError_
+from repro.mem.pages import DirtyPageTable, PAGE_SIZE_DEFAULT
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.mem.mprotect import SimulatedMMU
+
+
+@dataclass
+class Segment:
+    """A contiguous named slice of the database address space."""
+
+    name: str
+    base: int
+    size: int
+    kind: str  # "data" or "control"
+    data: bytearray = field(repr=False, default_factory=bytearray)
+
+    def __post_init__(self) -> None:
+        if not self.data:
+            self.data = bytearray(self.size)
+
+    @property
+    def end(self) -> int:
+        return self.base + self.size
+
+    def contains(self, address: int, length: int = 1) -> bool:
+        return self.base <= address and address + max(length, 1) <= self.end
+
+
+class MemoryImage:
+    """Flat address space composed of page-aligned segments."""
+
+    def __init__(self, page_size: int = PAGE_SIZE_DEFAULT) -> None:
+        if page_size <= 0 or page_size % 8 != 0:
+            raise ConfigError(f"page size must be a positive multiple of 8: {page_size}")
+        self.page_size = page_size
+        self.dirty_pages = DirtyPageTable()
+        self.mmu: "SimulatedMMU | None" = None
+        self._segments: list[Segment] = []
+        self._by_name: dict[str, Segment] = {}
+        self._next_base = 0
+
+    # ------------------------------------------------------------ layout
+
+    def add_segment(self, name: str, size: int, kind: str = "data") -> Segment:
+        """Create a new page-aligned segment at the end of the space."""
+        if name in self._by_name:
+            raise ConfigError(f"segment {name!r} already exists")
+        if kind not in ("data", "control"):
+            raise ConfigError(f"segment kind must be 'data' or 'control': {kind!r}")
+        if size <= 0:
+            raise ConfigError(f"segment size must be positive: {size}")
+        # Round up to whole pages so a segment never shares a page with
+        # another segment (page-granular protection stays per-segment).
+        size = -(-size // self.page_size) * self.page_size
+        segment = Segment(name=name, base=self._next_base, size=size, kind=kind)
+        self._segments.append(segment)
+        self._by_name[name] = segment
+        self._next_base += size
+        return segment
+
+    def segment(self, name: str) -> Segment:
+        try:
+            return self._by_name[name]
+        except KeyError:
+            raise MemoryError_(f"no segment named {name!r}") from None
+
+    @property
+    def segments(self) -> tuple[Segment, ...]:
+        return tuple(self._segments)
+
+    @property
+    def size(self) -> int:
+        return self._next_base
+
+    @property
+    def page_count(self) -> int:
+        return self._next_base // self.page_size
+
+    def segment_for(self, address: int, length: int = 1) -> Segment:
+        """Locate the segment containing ``[address, address + length)``."""
+        for segment in self._segments:
+            if segment.base <= address < segment.end:
+                if address + max(length, 1) > segment.end:
+                    raise MemoryError_(
+                        f"access of {length} bytes at {address:#x} crosses the "
+                        f"end of segment {segment.name!r}"
+                    )
+                return segment
+        raise MemoryError_(f"address {address:#x} is not mapped")
+
+    def _spans(self, address: int, length: int):
+        """Yield ``(segment, seg_offset, chunk_len)`` covering a flat range.
+
+        Segments are laid out contiguously, so a range may legitimately
+        cross segment boundaries (e.g. a large protection region folding
+        several small segments at once).
+        """
+        if length < 0:
+            raise MemoryError_(f"negative access length: {length}")
+        if address < 0 or address + length > self._next_base:
+            raise MemoryError_(
+                f"access of {length} bytes at {address:#x} is outside the "
+                f"{self._next_base}-byte address space"
+            )
+        remaining = length
+        position = address
+        while remaining > 0:
+            segment = self.segment_for(position)
+            offset = position - segment.base
+            chunk = min(remaining, segment.size - offset)
+            yield segment, offset, chunk
+            position += chunk
+            remaining -= chunk
+
+    # ------------------------------------------------------------ access
+
+    def read(self, address: int, length: int) -> bytes:
+        """Raw read; protection-scheme hooks live above this layer."""
+        if length == 0:
+            # Validate the address even for empty reads.
+            self.segment_for(address)
+            return b""
+        chunks = [
+            bytes(seg.data[off : off + n]) for seg, off, n in self._spans(address, length)
+        ]
+        return chunks[0] if len(chunks) == 1 else b"".join(chunks)
+
+    def write(self, address: int, data: bytes) -> None:
+        """Prescribed-path write: MMU-checked and dirty-tracked."""
+        if self.mmu is not None:
+            self.mmu.check_write(address, len(data))
+        self._store(address, data)
+        self.dirty_pages.note_dirty_range(address, len(data), self.page_size)
+
+    def poke(self, address: int, data: bytes) -> None:
+        """A wild write: bypasses dirty tracking but not the MMU.
+
+        This is the fault-injection entry point -- an addressing error does
+        not announce the pages it touched, but it cannot write through a
+        hardware-protected page either.
+        """
+        if self.mmu is not None:
+            self.mmu.check_write(address, len(data))
+        self._store(address, data)
+
+    def restore(self, address: int, data: bytes) -> None:
+        """Recovery-path write: below the MMU, still dirty-tracked.
+
+        Used when loading checkpoint images and applying redo at restart.
+        """
+        self._store(address, data)
+        self.dirty_pages.note_dirty_range(address, len(data), self.page_size)
+
+    def _store(self, address: int, data: bytes) -> None:
+        consumed = 0
+        for segment, offset, chunk in self._spans(address, len(data)):
+            segment.data[offset : offset + chunk] = data[consumed : consumed + chunk]
+            consumed += chunk
+
+    # -------------------------------------------------------- page views
+
+    def page_bytes(self, page_id: int) -> bytes:
+        address = page_id * self.page_size
+        return self.read(address, self.page_size)
+
+    def load_page(self, page_id: int, content: bytes) -> None:
+        if len(content) != self.page_size:
+            raise MemoryError_(
+                f"page content must be exactly {self.page_size} bytes, got "
+                f"{len(content)}"
+            )
+        self.restore(page_id * self.page_size, content)
+
+    def iter_pages(self) -> Iterator[int]:
+        return iter(range(self.page_count))
+
+    def snapshot_segments(self) -> dict[str, bytes]:
+        """Deep copy of all segment contents (test/verification helper)."""
+        return {seg.name: bytes(seg.data) for seg in self._segments}

@@ -1,0 +1,123 @@
+"""Simulated MMU: page protection bits and ``mprotect`` cost accounting.
+
+The paper's Hardware Protection scheme (Section 3, after [21]) keeps
+database pages write-protected, unprotecting them between ``beginUpdate``
+and ``endUpdate``.  We do not have the paper's SPARC/HP/SGI hardware, so
+the MMU is simulated:
+
+* semantics are exact -- a write to a protected page raises
+  :class:`~repro.errors.ProtectionFault` and the write is not performed,
+  which is precisely how hardware protection *prevents* direct physical
+  corruption;
+* cost is modelled -- each ``mprotect`` call charges a per-syscall fixed
+  cost plus a per-page PTE cost to the virtual clock, with per-platform
+  constants calibrated from Table 1 of the paper
+  (see :mod:`repro.bench.platforms`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigError, ProtectionFault
+from repro.mem.memory import MemoryImage
+from repro.mem.pages import page_range
+from repro.sim.clock import Meter
+
+PROT_READ = "r"
+PROT_READWRITE = "rw"
+
+
+@dataclass(frozen=True)
+class MprotectCosts:
+    """Per-platform cost of one ``mprotect`` system call.
+
+    ``syscall_fixed_ns`` covers trap entry/exit and kernel bookkeeping;
+    ``per_page_ns`` covers the PTE update and TLB shootdown per page in the
+    protected range.
+    """
+
+    syscall_fixed_ns: int
+    per_page_ns: int
+
+    def call_ns(self, pages: int) -> int:
+        return self.syscall_fixed_ns + pages * self.per_page_ns
+
+
+class SimulatedMMU:
+    """Per-page protection bits over a :class:`MemoryImage`.
+
+    The MMU starts *disabled*: protection checks are a no-op until
+    :meth:`enable` is called (the Hardware Protection scheme enables it;
+    codeword schemes never do, which is exactly why wild writes succeed
+    silently under them).
+    """
+
+    def __init__(self, memory: MemoryImage, costs: MprotectCosts, meter: Meter) -> None:
+        self.memory = memory
+        self.costs = costs
+        self.meter = meter
+        self.enforcing = False
+        self._protected: set[int] = set()
+        self.call_count = 0
+        self.trap_count = 0
+        memory.mmu = self
+
+    # ------------------------------------------------------------ policy
+
+    def enable(self) -> None:
+        self.enforcing = True
+
+    def disable(self) -> None:
+        self.enforcing = False
+
+    # ----------------------------------------------------------- syscall
+
+    def mprotect(self, address: int, length: int, prot: str) -> None:
+        """Change protection of the pages covering ``[address, address+length)``.
+
+        Charges the platform syscall cost to the virtual clock whether or
+        not the protection bits actually change, as the real call would.
+        """
+        if prot not in (PROT_READ, PROT_READWRITE):
+            raise ConfigError(f"unknown protection {prot!r}")
+        pages = page_range(address, length, self.memory.page_size)
+        self.meter.charge_ns("mprotect_call", self.costs.call_ns(len(pages)))
+        self.call_count += 1
+        if prot == PROT_READ:
+            self._protected.update(pages)
+        else:
+            self._protected.difference_update(pages)
+
+    def protect_pages(self, page_ids: range | list[int], prot: str) -> None:
+        """Protect/unprotect explicit pages (one syscall per contiguous run)."""
+        ids = sorted(set(page_ids))
+        run_start = None
+        prev = None
+        page_size = self.memory.page_size
+        for page_id in ids + [None]:  # sentinel flushes the last run
+            if run_start is None:
+                run_start = page_id
+            elif page_id is None or page_id != prev + 1:
+                length = (prev - run_start + 1) * page_size
+                self.mprotect(run_start * page_size, length, prot)
+                run_start = page_id
+            prev = page_id
+
+    # ------------------------------------------------------------ checks
+
+    def is_protected(self, page_id: int) -> bool:
+        return page_id in self._protected
+
+    def check_write(self, address: int, length: int) -> None:
+        """Trap if any page covering the write is protected."""
+        if not self.enforcing:
+            return
+        for page_id in page_range(address, length, self.memory.page_size):
+            if page_id in self._protected:
+                self.trap_count += 1
+                raise ProtectionFault(address, length, page_id)
+
+    @property
+    def protected_page_count(self) -> int:
+        return len(self._protected)

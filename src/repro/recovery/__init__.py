@@ -1,0 +1,55 @@
+"""Checkpointing, restart recovery, and corruption recovery."""
+
+from repro.recovery.checkpoint import Checkpointer, CheckpointResult
+from repro.recovery.history import (
+    HistoryEvent,
+    HistoryRecorder,
+    check_conflict_consistent,
+    check_view_consistent,
+    expected_final_state,
+)
+from repro.recovery.restart import (
+    CorruptionContext,
+    CorruptDataTable,
+    RecoveryReport,
+    RestartRecovery,
+    load_corruption_note,
+)
+from repro.recovery.cache_recovery import repair_regions
+from repro.recovery.archive import (
+    ArchiveInfo,
+    create_archive,
+    read_archive_info,
+    recover_from_archive,
+)
+from repro.recovery.logical import delete_transactions, trace_readers
+from repro.recovery.prior_state import (
+    PriorStateReport,
+    prior_state_recovery,
+    recover_prior_state,
+)
+
+__all__ = [
+    "Checkpointer",
+    "CheckpointResult",
+    "HistoryRecorder",
+    "HistoryEvent",
+    "check_conflict_consistent",
+    "check_view_consistent",
+    "expected_final_state",
+    "RestartRecovery",
+    "RecoveryReport",
+    "CorruptionContext",
+    "CorruptDataTable",
+    "load_corruption_note",
+    "repair_regions",
+    "PriorStateReport",
+    "prior_state_recovery",
+    "recover_prior_state",
+    "ArchiveInfo",
+    "create_archive",
+    "read_archive_info",
+    "recover_from_archive",
+    "delete_transactions",
+    "trace_readers",
+]

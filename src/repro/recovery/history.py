@@ -1,0 +1,156 @@
+"""Execution histories and the paper's delete-history correctness oracles.
+
+Section 4.1 defines correctness of delete-transaction recovery through two
+relations between the original history H_o and the delete history H_d
+(H_o with the deleted transactions' reads and writes removed):
+
+* *conflict-consistent*: any read in H_d is preceded by the same write
+  which preceded it in H_o;
+* *view-consistent*: each read in H_d returns the value it returned in
+  H_o.
+
+The :class:`HistoryRecorder` captures the logical read/write history while
+a workload runs; after corruption recovery reports its delete set, the
+checkers below verify the recovered database against these definitions.
+They are test oracles -- they live outside the storage manager and cost
+nothing on the virtual clock.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+#: Sentinel meaning "the item was never written in the surviving history".
+INITIAL = object()
+
+
+@dataclass(frozen=True)
+class HistoryEvent:
+    seq: int
+    txn_id: int
+    kind: str  # "r" or "w"
+    table: str
+    slot: int
+    value: bytes | None  # None for a delete ("w" kind)
+
+
+class HistoryRecorder:
+    """Captures the logical history of a run."""
+
+    def __init__(self) -> None:
+        self.events: list[HistoryEvent] = []
+        self.committed: set[int] = set()
+        self.aborted: set[int] = set()
+        self._seq = 0
+
+    def on_read(self, txn_id: int, table: str, slot: int, value: bytes) -> None:
+        self._append(txn_id, "r", table, slot, value)
+
+    def on_write(self, txn_id: int, table: str, slot: int, value: bytes | None) -> None:
+        self._append(txn_id, "w", table, slot, value)
+
+    def on_commit(self, txn_id: int) -> None:
+        self.committed.add(txn_id)
+
+    def on_abort(self, txn_id: int) -> None:
+        self.aborted.add(txn_id)
+
+    def _append(
+        self, txn_id: int, kind: str, table: str, slot: int, value: bytes | None
+    ) -> None:
+        self.events.append(
+            HistoryEvent(self._seq, txn_id, kind, table, slot, value)
+        )
+        self._seq += 1
+
+    def surviving_events(self, deleted: set[int]) -> list[HistoryEvent]:
+        """H_d restricted to committed transactions."""
+        return [
+            e
+            for e in self.events
+            if e.txn_id in self.committed and e.txn_id not in deleted
+        ]
+
+
+def expected_final_state(
+    history: HistoryRecorder, deleted: set[int]
+) -> dict[tuple[str, int], bytes | None | object]:
+    """Final value per item under the delete history.
+
+    Returns ``INITIAL`` for items never written by a surviving committed
+    transaction; ``None`` means the surviving history ends with a delete.
+    """
+    state: dict[tuple[str, int], bytes | None | object] = {}
+    for event in history.surviving_events(deleted):
+        if event.kind == "w":
+            state[(event.table, event.slot)] = event.value
+    return state
+
+
+def check_conflict_consistent(
+    history: HistoryRecorder, deleted: set[int]
+) -> list[str]:
+    """Check the conflict-consistency condition; returns violations.
+
+    For every read in H_d, the most recent prior write to the same item in
+    H_o must itself survive into H_d (or there must have been no prior
+    write at all).
+    """
+    violations: list[str] = []
+    last_writer: dict[tuple[str, int], HistoryEvent] = {}
+    survivors = {
+        t for t in history.committed if t not in deleted
+    }
+    for event in history.events:
+        if event.txn_id in history.aborted:
+            continue  # aborted transactions' effects were compensated
+        item = (event.table, event.slot)
+        if event.kind == "w":
+            last_writer[item] = event
+            continue
+        if event.txn_id not in survivors:
+            continue  # reads of deleted/in-flight transactions drop out
+        writer = last_writer.get(item)
+        if writer is not None and writer.txn_id not in survivors and (
+            writer.txn_id != event.txn_id
+        ):
+            violations.append(
+                f"txn {event.txn_id} read {item} last written by deleted "
+                f"txn {writer.txn_id} (event seq {event.seq})"
+            )
+    return violations
+
+
+def check_view_consistent(history: HistoryRecorder, deleted: set[int]) -> list[str]:
+    """Check the view-consistency condition; returns violations.
+
+    Each surviving read's H_o value must equal the value the item holds at
+    that point of H_d (the last surviving write's value, or the initial
+    value if none).  Reads of never-written items are vacuously fine.
+    """
+    violations: list[str] = []
+    survivors = {t for t in history.committed if t not in deleted}
+    current: dict[tuple[str, int], bytes | None | object] = {}
+    ever_written: set[tuple[str, int]] = set()
+    for event in history.events:
+        if event.txn_id in history.aborted:
+            continue
+        item = (event.table, event.slot)
+        if event.kind == "w":
+            ever_written.add(item)
+            if event.txn_id in survivors:
+                current[item] = event.value
+            continue
+        if event.txn_id not in survivors:
+            continue
+        if item not in ever_written:
+            continue  # value predates the recorded history
+        expected = current.get(item, INITIAL)
+        if expected is INITIAL:
+            continue  # last surviving state predates the recorded history
+        if event.value != expected:
+            violations.append(
+                f"txn {event.txn_id} read {item} value {event.value!r} but "
+                f"delete history holds {expected!r} (event seq {event.seq})"
+            )
+    return violations

@@ -1,0 +1,566 @@
+"""Restart recovery: Dali multi-level recovery plus the delete-transaction
+corruption recovery algorithm of Section 4.3.
+
+Normal restart ("repeating history physically", Section 2.1):
+
+1. load the anchored checkpoint image and its ATT (with local undo logs);
+2. redo phase: forward scan from ``CK_end`` applying every physical update
+   record, while reconstructing local undo logs (pre-images captured
+   before each redo; operation commit records replace an operation's
+   physical undo with its logical undo);
+3. undo phase: transactions without a commit/abort record are rolled back
+   level by level -- physical (level-0) undo first, then logical undo of
+   committed operations, newest first;
+4. a checkpoint finishes recovery.
+
+Delete-transaction mode is the same scan with the modifications of
+Section 4.3: a CorruptDataTable (byte intervals) and CorruptTransTable are
+maintained; writes of corrupt transactions are suppressed and their target
+ranges become corrupt; begin-operation records that conflict with a
+corrupt transaction's undone operations recruit their transaction; at
+``Audit_SN`` the failed audit's regions seed the CorruptDataTable.  With
+checksummed read logs the CorruptDataTable is dispensed with entirely:
+a logged checksum that does not match the recovering image recruits the
+reader, which yields a *view-consistent* delete history.
+"""
+
+from __future__ import annotations
+
+import bisect
+import os
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
+
+from repro.core.codeword import fold_words
+from repro.errors import RecoveryError
+from repro.storage.database import CORRUPTION_NOTE_FILE
+from repro.txn.transaction import ActiveTransactionTable
+from repro.wal.local_log import LogicalUndoEntry, PhysicalUndo
+from repro.wal.records import (
+    AmendRecord,
+    AuditBeginRecord,
+    AuditEndRecord,
+    OpBeginRecord,
+    OpCommitRecord,
+    ReadRecord,
+    TxnAbortRecord,
+    TxnBeginRecord,
+    TxnCommitRecord,
+    UpdateRecord,
+)
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.storage.database import Database
+
+import json
+
+
+@dataclass(frozen=True)
+class CorruptionContext:
+    """What restart knows about detected corruption."""
+
+    corrupt_ranges: tuple[tuple[int, int], ...]
+    audit_sn: int
+    use_checksums: bool
+    #: whether the log contains read records; without them (plain Data
+    #: Codeword / Read Prechecking), corruption can only be traced through
+    #: writes and operation conflicts -- a documented weaker mode.
+    reads_traced: bool = True
+    #: True when this context was reconstructed from an AmendRecord during
+    #: archive recovery (no new amendment is written for it).
+    from_amendment: bool = False
+    #: transactions to delete as *logical* corruption roots (user-named
+    #: bad transactions -- incorrect data entry, buggy application logic);
+    #: their taint is traced through the read log exactly like physical
+    #: corruption.
+    root_txns: tuple[int, ...] = ()
+
+
+def load_corruption_note(db: "Database") -> CorruptionContext | None:
+    """Build the corruption context for a restart.
+
+    A corruption note (written by :meth:`Database.crash_with_corruption`)
+    always triggers delete-transaction recovery.  Without a note, schemes
+    that log read checksums still run it on every restart, because only
+    then can corruption that occurred after the last audit be caught
+    (Section 4.3).
+    """
+    path = db.path(CORRUPTION_NOTE_FILE)
+    use_checksums = bool(getattr(db.scheme, "logs_read_checksums", False))
+    reads_traced = bool(getattr(db.scheme, "logs_reads", False))
+    if os.path.exists(path):
+        with open(path) as handle:
+            note = json.load(handle)
+        return CorruptionContext(
+            corrupt_ranges=tuple((int(s), int(l)) for s, l in note["corrupt_ranges"]),
+            audit_sn=int(note["audit_sn"]),
+            use_checksums=use_checksums,
+            reads_traced=reads_traced,
+        )
+    if use_checksums:
+        return CorruptionContext(
+            corrupt_ranges=(), audit_sn=0, use_checksums=True, reads_traced=True
+        )
+    return None
+
+
+class CorruptDataTable:
+    """A set of byte intervals, merged on insert, with overlap queries."""
+
+    def __init__(self) -> None:
+        self._starts: list[int] = []
+        self._ends: list[int] = []
+
+    def add(self, start: int, length: int) -> None:
+        if length <= 0:
+            return
+        end = start + length
+        i = bisect.bisect_left(self._starts, start)
+        # Merge with a predecessor that reaches into us.
+        if i > 0 and self._ends[i - 1] >= start:
+            i -= 1
+            start = self._starts[i]
+            end = max(end, self._ends[i])
+            del self._starts[i]
+            del self._ends[i]
+        # Merge with successors we swallow.
+        while i < len(self._starts) and self._starts[i] <= end:
+            end = max(end, self._ends[i])
+            del self._starts[i]
+            del self._ends[i]
+        self._starts.insert(i, start)
+        self._ends.insert(i, end)
+
+    def overlaps(self, start: int, length: int) -> bool:
+        if length <= 0 or not self._starts:
+            return False
+        end = start + length
+        i = bisect.bisect_right(self._starts, start)
+        if i > 0 and self._ends[i - 1] > start:
+            return True
+        return i < len(self._starts) and self._starts[i] < end
+
+    @property
+    def ranges(self) -> list[tuple[int, int]]:
+        return [(s, e - s) for s, e in zip(self._starts, self._ends)]
+
+    def __len__(self) -> int:
+        return len(self._starts)
+
+
+@dataclass
+class RecoveryReport:
+    """What recovery did; returned by :meth:`Database.recover`."""
+
+    mode: str  # "normal" | "delete-transaction" | "delete-transaction-view"
+    ck_end: int
+    audit_sn: int
+    redo_applied: int = 0
+    writes_suppressed: int = 0
+    deleted_committed: tuple[int, ...] = ()
+    rolled_back: tuple[int, ...] = ()
+    recruited: dict[int, str] = field(default_factory=dict)
+    corrupt_range_count: int = 0
+
+    @property
+    def deleted_set(self) -> set[int]:
+        """Committed transactions removed from history (report to user)."""
+        return set(self.deleted_committed)
+
+
+class _RecTxn:
+    """A transaction's state as reconstructed during the redo scan."""
+
+    __slots__ = (
+        "txn_id",
+        "entries",
+        "op_stack",
+        "corrupt",
+        "committed_in_log",
+        "reason",
+        "is_recovery",
+    )
+
+    def __init__(self, txn_id: int) -> None:
+        self.txn_id = txn_id
+        self.entries: list = []
+        # (op_id, level, object_key, undo_mark)
+        self.op_stack: list[tuple[int, int, str, int]] = []
+        self.corrupt = False
+        self.committed_in_log = False
+        self.reason = ""
+        self.is_recovery = False
+
+
+class RestartRecovery:
+    """One restart recovery run over a freshly rebuilt database shell."""
+
+    def __init__(
+        self,
+        db: "Database",
+        corruption: CorruptionContext | list[CorruptionContext] | None,
+    ) -> None:
+        self.db = db
+        if corruption is None:
+            contexts: list[CorruptionContext] = []
+        elif isinstance(corruption, CorruptionContext):
+            contexts = [corruption]
+        else:
+            contexts = list(corruption)
+        self.contexts = contexts
+        self.cdt = CorruptDataTable()
+        self._txns: dict[int, _RecTxn] = {}
+        self._corrupt_keys: set[str] = set()
+        self._seq = 1
+        self._max_txn_id = 0
+        self._unseeded: list[CorruptionContext] = list(contexts)
+        self.root_txns: set[int] = set()
+        for context in contexts:
+            self.root_txns.update(context.root_txns)
+        if contexts:
+            self.use_checksums = any(c.use_checksums for c in contexts)
+            reads_traced = all(c.reads_traced for c in contexts)
+            only_logical = bool(self.root_txns) and not any(
+                c.corrupt_ranges or c.use_checksums for c in contexts
+            )
+            if only_logical:
+                mode = "delete-transaction-logical"
+            elif self.use_checksums:
+                mode = "delete-transaction-view"
+            elif reads_traced:
+                mode = "delete-transaction"
+            else:
+                # Detection-only schemes crashed into corruption recovery:
+                # reads were never logged, so only direct corruption and
+                # write/conflict-propagated corruption can be removed.
+                # Indirect corruption carried purely through reads is NOT
+                # traced -- the paper's reason to pay for read logging.
+                mode = "delete-transaction-writes-only"
+        else:
+            self.use_checksums = False
+            mode = "normal"
+        self.report = RecoveryReport(
+            mode=mode,
+            ck_end=0,
+            audit_sn=max((c.audit_sn for c in contexts), default=0),
+        )
+
+    @property
+    def corruption_mode(self) -> bool:
+        return bool(self.contexts)
+
+    # --------------------------------------------------------------- run
+
+    def run(self) -> RecoveryReport:
+        db = self.db
+        image, ck_end, _meta_audit_sn, att_bytes = db.checkpointer.load_latest()
+        self.report.ck_end = ck_end
+        self._load_checkpointed_att(att_bytes)
+        self._seed_due_contexts(ck_end)
+        last_lsn = self._redo_phase(ck_end)
+        # The system log was reopened in append mode with fresh counters;
+        # resume LSN assignment after the last stable record.
+        db.system_log.next_lsn = last_lsn + 1
+        db.system_log.end_of_stable_lsn = last_lsn + 1
+        db.manager._next_txn_id = self._max_txn_id + 1
+        db.manager._next_seq = self._seq + 1
+        self._undo_phase()
+        self._finish()
+        return self.report
+
+    def _load_checkpointed_att(self, att_bytes: bytes) -> None:
+        for txn_id, ckpt_txn in ActiveTransactionTable.decode(att_bytes).items():
+            rec = _RecTxn(txn_id)
+            rec.entries = list(ckpt_txn.undo_log.entries)
+            rec.op_stack = list(ckpt_txn.open_ops)
+            self._txns[txn_id] = rec
+            self._max_txn_id = max(self._max_txn_id, txn_id)
+            for entry in rec.entries:
+                self._seq = max(self._seq, entry.seq + 1)
+
+    def _seed_due_contexts(self, lsn: int) -> None:
+        """Seed the CorruptDataTable of every context whose Audit_SN has
+        been passed by the scan ("when Audit_LSN is passed", Section 4.3)."""
+        if not self._unseeded:
+            return
+        due = [c for c in self._unseeded if c.audit_sn <= lsn]
+        if not due:
+            return
+        self._unseeded = [c for c in self._unseeded if c.audit_sn > lsn]
+        for context in due:
+            if context.use_checksums:
+                continue  # checksums replace the CorruptDataTable entirely
+            for start, length in context.corrupt_ranges:
+                self.cdt.add(start, length)
+
+    # ------------------------------------------------------- redo phase
+
+    def _redo_phase(self, ck_end: int) -> int:
+        last_lsn = -1
+        for lsn, record in self.db.system_log.scan(0):
+            last_lsn = lsn
+            if lsn < ck_end:
+                continue
+            self._seed_due_contexts(lsn)
+            self._dispatch(record)
+        # A crash mid-flush can leave a torn record at the end of the
+        # stable log; cut it off before recovery appends anything new.
+        self.db.system_log.truncate_torn_tail()
+        return last_lsn
+
+    def _dispatch(self, record) -> None:
+        if isinstance(record, UpdateRecord):
+            self._on_update(record)
+        elif isinstance(record, ReadRecord):
+            self._on_read(record)
+        elif isinstance(record, OpBeginRecord):
+            self._on_op_begin(record)
+        elif isinstance(record, OpCommitRecord):
+            self._on_op_commit(record)
+        elif isinstance(record, TxnBeginRecord):
+            rec = self._get_txn(record.txn_id)
+            rec.is_recovery = rec.is_recovery or record.is_recovery
+        elif isinstance(record, TxnCommitRecord):
+            self._on_txn_end(record.txn_id, committed=True)
+        elif isinstance(record, TxnAbortRecord):
+            self._on_txn_end(record.txn_id, committed=False)
+        elif isinstance(record, AmendRecord):
+            # An amend record marks the end of a corruption-recovery
+            # episode: everything corrupt was removed, compensations were
+            # logged (as is_recovery transactions), and a certified
+            # checkpoint followed.  Heal the CorruptDataTable and the
+            # conflict-key set so post-recovery transactions that touch
+            # the once-corrupt ranges are not wrongly recruited during an
+            # archive replay, and drop the frozen undo logs of corrupt
+            # transactions -- the logged compensations already undid them;
+            # re-running them in this scan's undo phase would compensate
+            # twice.
+            self.cdt = CorruptDataTable()
+            self._corrupt_keys.clear()
+            for rec in self._txns.values():
+                if rec.corrupt:
+                    rec.entries.clear()
+        elif isinstance(record, (AuditBeginRecord, AuditEndRecord)):
+            pass
+        else:  # pragma: no cover - codec and dispatch must stay in sync
+            raise RecoveryError(f"unhandled record {type(record).__name__}")
+
+    def _get_txn(self, txn_id: int) -> _RecTxn:
+        rec = self._txns.get(txn_id)
+        if rec is None:
+            rec = _RecTxn(txn_id)
+            self._txns[txn_id] = rec
+            self._max_txn_id = max(self._max_txn_id, txn_id)
+        if txn_id in self.root_txns and not rec.corrupt:
+            self._recruit(rec, "user-specified deletion root")
+        return rec
+
+    def _recruit(self, rec: _RecTxn, reason: str) -> None:
+        """Add a transaction to the CorruptTransTable, freezing its undo.
+
+        Its undo log keeps only actions taken before it first read corrupt
+        data; the conflict-key set grows so later operations that would
+        block its rollback are recruited too.
+
+        Compensation transactions spawned by an earlier recovery are never
+        recruited: they ran against a clean post-undo image, and
+        suppressing their writes during an archive replay would leave the
+        transactions they compensated half-undone.
+        """
+        if rec.corrupt or rec.is_recovery:
+            return
+        rec.corrupt = True
+        rec.reason = reason
+        self.report.recruited[rec.txn_id] = reason
+        for entry in rec.entries:
+            if isinstance(entry, LogicalUndoEntry):
+                self._corrupt_keys.add(entry.object_key)
+        for _op_id, _level, key, _mark in rec.op_stack:
+            self._corrupt_keys.add(key)
+
+    def _on_update(self, record: UpdateRecord) -> None:
+        rec = self._get_txn(record.txn_id)
+        if self.corruption_mode and not rec.corrupt:
+            if self.use_checksums:
+                if record.old_checksum is not None:
+                    current = self.db.memory.read(record.address, record.length)
+                    if fold_words(current) != record.old_checksum:
+                        self._recruit(rec, "write checksum mismatch")
+            elif self.cdt.overlaps(record.address, record.length):
+                self._recruit(rec, "wrote data marked corrupt")
+        if self.corruption_mode and rec.corrupt:
+            # Suppress the write; everything it would have produced is
+            # corrupt data.
+            if not self.use_checksums:
+                self.cdt.add(record.address, record.length)
+            self.report.writes_suppressed += 1
+            return
+        op_id = rec.op_stack[-1][0] if rec.op_stack else 0
+        pre_image = self.db.memory.read(record.address, record.length)
+        rec.entries.append(
+            PhysicalUndo(self._take_seq(), op_id, record.address, pre_image, True)
+        )
+        self.db.memory.restore(record.address, record.image)
+        self.db.meter.charge("redo_apply")
+        self.report.redo_applied += 1
+
+    def _on_read(self, record: ReadRecord) -> None:
+        if not self.corruption_mode:
+            return
+        rec = self._get_txn(record.txn_id)
+        if rec.corrupt:
+            return
+        if self.use_checksums:
+            if record.checksum is not None:
+                current = self.db.memory.read(record.address, record.length)
+                if fold_words(current) != record.checksum:
+                    self._recruit(rec, "read checksum mismatch")
+        elif self.cdt.overlaps(record.address, record.length):
+            self._recruit(rec, "read data marked corrupt")
+
+    def _on_op_begin(self, record: OpBeginRecord) -> None:
+        rec = self._get_txn(record.txn_id)
+        if self.corruption_mode and rec.corrupt:
+            return
+        if (
+            self.corruption_mode
+            and record.object_key in self._corrupt_keys
+            and not rec.is_recovery
+        ):
+            # The operation conflicts with an operation that must be
+            # rolled back from a corrupt transaction; it cannot be allowed
+            # to proceed in the delete history.  (A recovery transaction's
+            # op on that key IS the rollback -- it proceeds.)
+            self._recruit(rec, f"conflicts with corrupt undo on {record.object_key}")
+            return
+        rec.op_stack.append(
+            (record.op_id, record.level, record.object_key, len(rec.entries))
+        )
+
+    def _on_op_commit(self, record: OpCommitRecord) -> None:
+        rec = self._get_txn(record.txn_id)
+        if self.corruption_mode and rec.corrupt:
+            return
+        mark = None
+        for i in range(len(rec.op_stack) - 1, -1, -1):
+            if rec.op_stack[i][0] == record.op_id:
+                mark = rec.op_stack[i][3]
+                del rec.op_stack[i:]
+                break
+        if mark is None:
+            raise RecoveryError(
+                f"operation commit {record.op_id} without matching begin "
+                f"(txn {record.txn_id})"
+            )
+        del rec.entries[mark:]
+        rec.entries.append(
+            LogicalUndoEntry(
+                self._take_seq(),
+                record.op_id,
+                record.level,
+                record.object_key,
+                record.logical_undo,
+            )
+        )
+
+    def _on_txn_end(self, txn_id: int, committed: bool) -> None:
+        rec = self._get_txn(txn_id)
+        if self.corruption_mode and rec.corrupt:
+            # Commit/abort records of corrupt transactions are ignored;
+            # the transaction is deleted from history instead.
+            rec.committed_in_log = rec.committed_in_log or committed
+            return
+        self._txns.pop(txn_id, None)
+
+    def _take_seq(self) -> int:
+        seq = self._seq
+        self._seq += 1
+        return seq
+
+    # ------------------------------------------------------- undo phase
+
+    def _undo_phase(self) -> None:
+        db = self.db
+        remaining = list(self._txns.values())
+        physical: list[tuple[int, PhysicalUndo]] = []
+        logical: list[tuple[int, LogicalUndoEntry]] = []
+        for rec in remaining:
+            for entry in rec.entries:
+                if isinstance(entry, PhysicalUndo):
+                    physical.append((entry.seq, entry))
+                else:
+                    logical.append((entry.seq, entry))
+        # Level 0 first: physical before-images, newest first, below the
+        # protection scheme (codewords are rebuilt afterwards).
+        for _seq, entry in sorted(physical, key=lambda p: -p[0]):
+            db.memory.restore(entry.address, entry.image)
+            db.meter.charge("undo_apply")
+        # Codewords now match the post-physical-undo image; hardware
+        # protection re-covers the pages.
+        db.scheme.startup()
+        # Higher levels: execute logical undo operations through the full
+        # prescribed machinery, newest first.  Each runs in its own
+        # recovery transaction so locks release immediately.
+        for _seq, entry in sorted(logical, key=lambda p: -p[0]):
+            if entry.undo.op_name == "noop":
+                continue
+            rtxn = db.manager.begin(is_recovery=True)
+            db._dispatch_logical_undo(rtxn, entry.undo, lenient=True)
+            db.manager.commit(rtxn)
+        deleted = sorted(
+            rec.txn_id for rec in remaining if rec.corrupt and rec.committed_in_log
+        )
+        rolled_back = sorted(
+            rec.txn_id
+            for rec in remaining
+            if not (rec.corrupt and rec.committed_in_log)
+        )
+        self.report.deleted_committed = tuple(deleted)
+        self.report.rolled_back = tuple(rolled_back)
+        self.report.corrupt_range_count = len(self.cdt)
+
+    # ------------------------------------------------------------ finish
+
+    def _finish(self) -> None:
+        """Amend the log, then checkpoint so a further crash cannot
+        rediscover the corruption."""
+        db = self.db
+        self._write_amendments()
+        db.memory.dirty_pages.mark_all_dirty(db.memory.iter_pages())
+        result = db.checkpointer.checkpoint()
+        if not result.certified:
+            raise RecoveryError(
+                "post-recovery checkpoint failed its audit; the image is "
+                "still corrupt"
+            )
+        note = db.path(CORRUPTION_NOTE_FILE)
+        if os.path.exists(note):
+            os.remove(note)
+
+    def _write_amendments(self) -> None:
+        """Append AmendRecords preserving this recovery's corruption
+        contexts, so archives taken before the corruption stay valid
+        (Section 4.3's omitted "log may be amended" scheme).
+
+        Only written when the recovery actually changed history (deleted
+        a committed transaction or suppressed writes) -- a clean
+        delete-transaction pass is replay-equivalent to the raw log.
+        """
+        changed_history = bool(self.report.deleted_committed) or (
+            self.report.writes_suppressed > 0
+        )
+        if not changed_history:
+            return
+        for context in self.contexts:
+            if context.from_amendment:
+                continue  # already on the log from a previous recovery
+            self.db.system_log.append(
+                AmendRecord(
+                    txn_id=0,
+                    corrupt_ranges=tuple(context.corrupt_ranges),
+                    audit_sn=context.audit_sn,
+                    use_checksums=context.use_checksums,
+                    root_txns=tuple(context.root_txns),
+                )
+            )
+        self.db.system_log.flush()

@@ -1,0 +1,6 @@
+"""Virtual-time simulation support: clock, event meter, and cost model."""
+
+from repro.sim.clock import VirtualClock, Meter
+from repro.sim.costs import CostModel, DEFAULT_COSTS
+
+__all__ = ["VirtualClock", "Meter", "CostModel", "DEFAULT_COSTS"]

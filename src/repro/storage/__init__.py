@@ -1,0 +1,8 @@
+"""Relational layer: schemas, tables, in-image hash indexes, the Database facade."""
+
+from repro.storage.schema import Field, FieldType, Schema
+from repro.storage.index import HashIndex
+from repro.storage.table import Table
+from repro.storage.database import Database, DBConfig
+
+__all__ = ["Field", "FieldType", "Schema", "HashIndex", "Table", "Database", "DBConfig"]

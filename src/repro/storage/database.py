@@ -1,0 +1,452 @@
+"""The public Database facade.
+
+Wires together every substrate: memory image, protection scheme,
+system log, lock manager, transaction manager, tables, auditor and
+checkpointer.  This is the API the examples and benchmarks program
+against.
+
+Typical use::
+
+    config = DBConfig(dir="/tmp/db", scheme="read_logging")
+    db = Database(config)
+    db.create_table("account", schema, capacity=100_000, key_field="aid")
+    db.start()
+
+    txn = db.begin()
+    slot = db.table("account").insert(txn, {"aid": 1, "balance": 100})
+    db.commit(txn)
+
+    result = db.checkpoint()      # audited, certified corruption-free
+    report = db.audit()           # asynchronous codeword audit
+    db.crash_with_corruption(report)   # if report is not clean
+    db2, recovery = Database.recover(config)
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import dataclass, field as dc_field
+
+from repro.core.audit import AuditReport, Auditor
+from repro.core.schemes import ProtectionScheme, make_scheme
+from repro.errors import ConfigError, ReproError, TransactionError
+from repro.mem.allocator import SlotAllocator
+from repro.mem.memory import MemoryImage
+from repro.sim.clock import Meter, VirtualClock
+from repro.sim.costs import CostModel, DEFAULT_COSTS
+from repro.storage.btree import BTreeIndex
+from repro.storage.index import HashIndex
+from repro.storage.schema import Schema
+from repro.storage.table import Table
+from repro.txn.locks import LockManager
+from repro.txn.manager import TransactionManager
+from repro.txn.transaction import Transaction
+from repro.wal.records import LogicalUndo
+from repro.wal.system_log import SystemLog
+
+CATALOG_FILE = "catalog.json"
+LOG_FILE = "system.log"
+CORRUPTION_NOTE_FILE = "corruption.note"
+
+
+@dataclass
+class DBConfig:
+    """Configuration of a database instance."""
+
+    dir: str
+    scheme: str = "baseline"
+    scheme_params: dict = dc_field(default_factory=dict)
+    page_size: int = 8192
+    costs: CostModel = DEFAULT_COSTS
+    record_history: bool = False
+    #: hash-index directory size as a fraction of table capacity
+    index_bucket_ratio: float = 0.5
+
+
+@dataclass
+class _TableDef:
+    name: str
+    schema: Schema
+    capacity: int
+    key_field: str | None
+    indexed: bool
+    index_type: str = "hash"
+
+
+class Database:
+    """A main-memory database with pluggable corruption protection."""
+
+    def __init__(self, config: DBConfig) -> None:
+        self.config = config
+        os.makedirs(config.dir, exist_ok=True)
+        self.clock = VirtualClock()
+        self.meter = Meter(self.clock, config.costs)
+        self.memory = MemoryImage(page_size=config.page_size)
+        self.scheme: ProtectionScheme = make_scheme(
+            config.scheme, **dict(config.scheme_params)
+        )
+        self.locks = LockManager()
+        self.system_log: SystemLog | None = None
+        self.manager: TransactionManager | None = None
+        self.auditor: Auditor | None = None
+        self.checkpointer = None  # set in start()/recover()
+        self.tables: dict[str, Table] = {}
+        self._table_defs: list[_TableDef] = []
+        self._started = False
+        self._crashed = False
+        self.history = None
+        if config.record_history:
+            from repro.recovery.history import HistoryRecorder
+
+            self.history = HistoryRecorder()
+        self.stats = {"reads": 0, "writes": 0}
+
+    # ------------------------------------------------------------ setup
+
+    def create_table(
+        self,
+        name: str,
+        schema: Schema,
+        capacity: int,
+        key_field: str | None = None,
+        indexed: bool = True,
+        index_type: str = "hash",
+    ) -> None:
+        """Define a table; call before :meth:`start`.
+
+        ``index_type`` selects the in-image primary index: ``"hash"``
+        (chained hash, point lookups) or ``"btree"`` (B+tree, point
+        lookups plus ordered :meth:`Table.range` scans).
+        """
+        if self._started:
+            raise ConfigError("create_table must be called before start()")
+        if any(d.name == name for d in self._table_defs):
+            raise ConfigError(f"table {name!r} already defined")
+        if indexed and key_field is None:
+            raise ConfigError(f"indexed table {name!r} needs a key_field")
+        if index_type not in ("hash", "btree"):
+            raise ConfigError(f"index_type must be 'hash' or 'btree': {index_type!r}")
+        self._table_defs.append(
+            _TableDef(name, schema, capacity, key_field, indexed, index_type)
+        )
+
+    def start(self) -> None:
+        """Lay out memory, format on-image structures, take checkpoint 0."""
+        self._require_not_started()
+        self._build_layout()
+        self._write_catalog()
+        self._open_log_and_manager()
+        self.scheme.startup()
+        self._format_structures()
+        # Everything is dirty with respect to both checkpoint images.
+        self.memory.dirty_pages.mark_all_dirty(self.memory.iter_pages())
+        result = self.checkpointer.checkpoint()
+        if not result.certified:  # pragma: no cover - fresh image is clean
+            raise ReproError("initial checkpoint failed certification")
+        self._started = True
+
+    @classmethod
+    def recover(cls, config: DBConfig):
+        """Recover a database from its directory after a crash.
+
+        Returns ``(database, recovery_report)``.  If a corruption note is
+        present (a failed audit crashed the system), or the scheme logs
+        read checksums (Section 4.3 says to run corruption recovery on
+        every restart in that case), delete-transaction recovery runs;
+        otherwise normal Dali restart recovery does.
+        """
+        from repro.recovery.restart import RestartRecovery, load_corruption_note
+
+        db = cls(config)
+        db._load_catalog()
+        db._build_layout()
+        db._open_log_and_manager()
+        corruption = load_corruption_note(db)
+        recovery = RestartRecovery(db, corruption)
+        report = recovery.run()
+        db._started = True
+        return db, report
+
+    def _require_not_started(self) -> None:
+        if self._started:
+            raise ConfigError("database already started")
+
+    def _build_layout(self) -> None:
+        """Create segments, allocators and indexes from the table defs."""
+        for table_def in self._table_defs:
+            name = table_def.name
+            record_size = table_def.schema.record_size
+            data_seg = self.memory.add_segment(
+                f"{name}.data", table_def.capacity * record_size, kind="data"
+            )
+            allocator = SlotAllocator(
+                control_base=0,  # patched below once the segment exists
+                data_base=data_seg.base,
+                slot_count=table_def.capacity,
+                slot_size=record_size,
+            )
+            ctl_seg = self.memory.add_segment(
+                f"{name}.ctl", allocator.control_size, kind="control"
+            )
+            allocator = SlotAllocator(
+                control_base=ctl_seg.base,
+                data_base=data_seg.base,
+                slot_count=table_def.capacity,
+                slot_size=record_size,
+            )
+            index = None
+            if table_def.indexed and table_def.index_type == "btree":
+                nodes = BTreeIndex.nodes_for_entries(table_def.capacity)
+                idx_seg = self.memory.add_segment(
+                    f"{name}.idx", BTreeIndex.size_for(nodes), kind="data"
+                )
+                index = BTreeIndex(idx_seg.base, nodes)
+            elif table_def.indexed:
+                buckets = max(16, int(table_def.capacity * self.config.index_bucket_ratio))
+                idx_size = HashIndex.size_for(buckets, table_def.capacity)
+                idx_seg = self.memory.add_segment(f"{name}.idx", idx_size, kind="data")
+                index = HashIndex(idx_seg.base, buckets, table_def.capacity)
+            self.tables[name] = Table(
+                db=self,
+                name=name,
+                schema=table_def.schema,
+                capacity=table_def.capacity,
+                key_field=table_def.key_field,
+                allocator=allocator,
+                index=index,
+            )
+        self.scheme.attach(self.memory, self.meter)
+
+    def _open_log_and_manager(self) -> None:
+        from repro.recovery.checkpoint import Checkpointer
+
+        self.system_log = SystemLog(os.path.join(self.config.dir, LOG_FILE), self.meter)
+        self.manager = TransactionManager(
+            self.memory, self.system_log, self.locks, self.scheme, self.meter
+        )
+        self.manager.undo_executor = self._dispatch_logical_undo
+        self.auditor = Auditor(self.system_log, self.scheme)
+        self.checkpointer = Checkpointer(self)
+
+    def _format_structures(self) -> None:
+        txn = self.manager.begin()
+        for table in self.tables.values():
+            self.manager.begin_operation(txn, f"{table.name}:format")
+            ctx = table._ctx(txn)
+            table.allocator.format(ctx)
+            if table.index is not None:
+                table.index.format(ctx)
+            self.manager.commit_operation(txn, LogicalUndo("noop"))
+        self.manager.commit(txn)
+
+    # ---------------------------------------------------------- catalog
+
+    def _write_catalog(self) -> None:
+        catalog = {
+            "page_size": self.config.page_size,
+            "tables": [
+                {
+                    "name": d.name,
+                    "schema": d.schema.to_dict(),
+                    "capacity": d.capacity,
+                    "key_field": d.key_field,
+                    "indexed": d.indexed,
+                    "index_type": d.index_type,
+                }
+                for d in self._table_defs
+            ],
+        }
+        path = os.path.join(self.config.dir, CATALOG_FILE)
+        tmp = path + ".tmp"
+        with open(tmp, "w") as handle:
+            json.dump(catalog, handle, indent=2)
+        os.replace(tmp, path)
+
+    def _load_catalog(self) -> None:
+        path = os.path.join(self.config.dir, CATALOG_FILE)
+        if not os.path.exists(path):
+            raise ConfigError(f"no catalog at {path}; nothing to recover")
+        with open(path) as handle:
+            catalog = json.load(handle)
+        if catalog["page_size"] != self.config.page_size:
+            raise ConfigError(
+                f"page size mismatch: catalog {catalog['page_size']}, "
+                f"config {self.config.page_size}"
+            )
+        for entry in catalog["tables"]:
+            self._table_defs.append(
+                _TableDef(
+                    name=entry["name"],
+                    schema=Schema.from_dict(entry["schema"]),
+                    capacity=entry["capacity"],
+                    key_field=entry["key_field"],
+                    indexed=entry["indexed"],
+                    index_type=entry.get("index_type", "hash"),
+                )
+            )
+
+    # ------------------------------------------------------ transactions
+
+    def begin(self) -> Transaction:
+        self._require_usable()
+        return self.manager.begin()
+
+    def commit(self, txn: Transaction) -> None:
+        self._require_usable()
+        self.manager.commit(txn)
+        if self.history is not None:
+            self.history.on_commit(txn.txn_id)
+
+    def abort(self, txn: Transaction) -> None:
+        self._require_usable()
+        self.manager.abort(txn)
+        if self.history is not None:
+            self.history.on_abort(txn.txn_id)
+
+    def table(self, name: str) -> Table:
+        try:
+            return self.tables[name]
+        except KeyError:
+            raise ConfigError(f"no table named {name!r}") from None
+
+    # ------------------------------------------- maintenance operations
+
+    def checkpoint(self):
+        """Take an audited ping-pong checkpoint; returns its result."""
+        self._require_usable()
+        return self.checkpointer.checkpoint()
+
+    def audit(self, region_ids=None) -> AuditReport:
+        """Run a codeword audit (no-op clean under baseline/hardware)."""
+        self._require_usable()
+        return self.auditor.run(region_ids)
+
+    def report(self) -> dict:
+        """Structured status snapshot (see :mod:`repro.storage.report`)."""
+        from repro.storage.report import status_report
+
+        self._require_usable()
+        return status_report(self)
+
+    def status(self) -> str:
+        """Human-readable status text."""
+        from repro.storage.report import render_status
+
+        self._require_usable()
+        return render_status(self)
+
+    def truncate_log(self, keep_from_lsn: int | None = None) -> int:
+        """Reclaim stable log space below the anchored checkpoint.
+
+        Restart recovery never reads below the anchor's ``CK_end``, so
+        those records are dead weight -- unless archives exist: replaying
+        an archive needs the log from *its* ``CK_end`` onward.  Pass the
+        oldest archive's ``ck_end`` as ``keep_from_lsn`` to stay safe, or
+        leave the default if no archives are kept.  Returns the number of
+        records removed.
+        """
+        self._require_usable()
+        cutoff = self.checkpointer.anchored_ck_end()
+        if keep_from_lsn is not None:
+            cutoff = min(cutoff, keep_from_lsn)
+        return self.system_log.truncate_before(cutoff)
+
+    def crash(self) -> None:
+        """Simulate a process crash: volatile state is gone."""
+        if self.system_log is not None:
+            self.system_log.crash()
+        self.locks.clear()
+        self.manager.att.clear()
+        self._crashed = True
+
+    def crash_with_corruption(self, report: AuditReport) -> None:
+        """Record a failed audit in a corruption note, then crash.
+
+        "On detecting an error, we simply note the region(s) failing the
+        audit, and cause the database to crash, allowing corruption
+        recovery to be handled as part of the subsequent restart
+        recovery." (Section 4.3)
+        """
+        if report.clean:
+            raise ConfigError("refusing to note corruption for a clean audit")
+        note = {
+            "corrupt_ranges": [list(r) for r in report.corrupt_byte_ranges],
+            "audit_sn": self.auditor.last_clean_audit_lsn,
+            "region_size": report.region_size,
+        }
+        path = os.path.join(self.config.dir, CORRUPTION_NOTE_FILE)
+        tmp = path + ".tmp"
+        with open(tmp, "w") as handle:
+            json.dump(note, handle)
+        os.replace(tmp, path)
+        self.crash()
+
+    def close(self) -> None:
+        if self.system_log is not None:
+            self.system_log.close()
+        self._crashed = True
+
+    def _require_usable(self) -> None:
+        if self._crashed:
+            raise TransactionError("database has crashed; recover() it first")
+        if self.manager is None:
+            raise ConfigError("database not started")
+
+    # -------------------------------------------------- logical undo ops
+
+    def _dispatch_logical_undo(
+        self, txn: Transaction, undo: LogicalUndo, lenient: bool = False
+    ) -> None:
+        """Execute a logical undo description from an op-commit record.
+
+        ``lenient`` makes compensation idempotent for recovery paths: if
+        the inverse operation's precondition no longer holds (the slot is
+        already free / already occupied), the compensation was evidently
+        applied by an earlier, logged recovery transaction, and is
+        skipped.  Normal-processing rollback stays strict -- there a
+        violated precondition is a bug, not a replay artifact.
+        """
+        ctx_txn = txn
+        if undo.op_name == "undo_insert":
+            table_name, slot = undo.args
+            table = self.table(table_name)
+            if lenient and not table.allocator.is_allocated(
+                table._ctx(ctx_txn), slot
+            ):
+                return
+            table.delete(txn, slot)
+        elif undo.op_name == "undo_delete":
+            table_name, slot, record = undo.args
+            table = self.table(table_name)
+            if lenient and table.allocator.is_allocated(table._ctx(ctx_txn), slot):
+                return
+            table.insert_at(txn, slot, record)
+        elif undo.op_name == "undo_update":
+            table_name, slot, *pairs = undo.args
+            offsets = pairs[0::2]
+            images = pairs[1::2]
+            self.table(table_name).write_fields(
+                txn, slot, list(zip(offsets, images))
+            )
+        else:
+            raise TransactionError(f"unknown logical undo {undo.op_name!r}")
+
+    # ----------------------------------------------------------- history
+
+    def note_read(self, txn: Transaction, table: str, slot: int, value: bytes) -> None:
+        self.stats["reads"] += 1
+        if self.history is not None:
+            self.history.on_read(txn.txn_id, table, slot, value)
+
+    def note_write(
+        self, txn: Transaction, table: str, slot: int, value: bytes | None
+    ) -> None:
+        self.stats["writes"] += 1
+        if self.history is not None:
+            self.history.on_write(txn.txn_id, table, slot, value)
+
+    # ------------------------------------------------------------ paths
+
+    def path(self, filename: str) -> str:
+        return os.path.join(self.config.dir, filename)

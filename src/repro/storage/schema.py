@@ -1,0 +1,152 @@
+"""Fixed-size record schemas.
+
+Dali lays records out as fixed-size slots ("the efficient layout of
+fixed-size records", Section 2); the TPC-B tables of the performance study
+all use 100-byte records.  A :class:`Schema` maps field names to offsets
+inside the slot so a balance update touches only the eight bytes of the
+balance field -- update granularity matters for codeword maintenance cost.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass
+from enum import Enum
+
+from repro.errors import ConfigError
+
+
+class FieldType(Enum):
+    INT64 = "int64"
+    UINT32 = "uint32"
+    FLOAT64 = "float64"
+    CHAR = "char"  # fixed-length byte string, NUL padded
+
+    @property
+    def struct_code(self) -> str:
+        return {"int64": "q", "uint32": "I", "float64": "d"}[self.value]
+
+
+@dataclass(frozen=True)
+class Field:
+    """One fixed-size field; ``size`` is required (and only valid) for CHAR."""
+
+    name: str
+    type: FieldType
+    size: int = 0
+
+    def __post_init__(self) -> None:
+        if self.type is FieldType.CHAR:
+            if self.size <= 0:
+                raise ConfigError(f"CHAR field {self.name!r} needs a positive size")
+        elif self.size:
+            raise ConfigError(f"size is only valid for CHAR fields: {self.name!r}")
+
+    @property
+    def byte_size(self) -> int:
+        if self.type is FieldType.CHAR:
+            return self.size
+        return struct.calcsize("<" + self.type.struct_code)
+
+
+class Schema:
+    """An ordered set of fields with computed offsets."""
+
+    def __init__(self, fields: list[Field]) -> None:
+        if not fields:
+            raise ConfigError("a schema needs at least one field")
+        names = [f.name for f in fields]
+        if len(set(names)) != len(names):
+            raise ConfigError(f"duplicate field names in schema: {names}")
+        self.fields = tuple(fields)
+        self._offsets: dict[str, int] = {}
+        self._by_name: dict[str, Field] = {}
+        offset = 0
+        for f in fields:
+            self._offsets[f.name] = offset
+            self._by_name[f.name] = f
+            offset += f.byte_size
+        self.record_size = offset
+
+    def field(self, name: str) -> Field:
+        try:
+            return self._by_name[name]
+        except KeyError:
+            raise ConfigError(f"no field named {name!r}") from None
+
+    def offset_of(self, name: str) -> int:
+        self.field(name)
+        return self._offsets[name]
+
+    def field_range(self, name: str) -> tuple[int, int]:
+        """``(offset, byte_size)`` of a field within the record."""
+        f = self.field(name)
+        return self._offsets[name], f.byte_size
+
+    # ------------------------------------------------------------ codec
+
+    def encode_field(self, name: str, value) -> bytes:
+        f = self.field(name)
+        if f.type is FieldType.CHAR:
+            if isinstance(value, str):
+                value = value.encode("utf-8")
+            if len(value) > f.size:
+                raise ConfigError(
+                    f"value for {name!r} is {len(value)} bytes, field holds {f.size}"
+                )
+            return value.ljust(f.size, b"\x00")
+        return struct.pack("<" + f.type.struct_code, value)
+
+    def decode_field(self, name: str, data: bytes):
+        f = self.field(name)
+        if f.type is FieldType.CHAR:
+            return bytes(data).rstrip(b"\x00")
+        return struct.unpack("<" + f.type.struct_code, data)[0]
+
+    def encode(self, values: dict) -> bytes:
+        """Encode a full record; missing fields default to zero/empty."""
+        unknown = set(values) - set(self._by_name)
+        if unknown:
+            raise ConfigError(f"unknown fields: {sorted(unknown)}")
+        parts = []
+        for f in self.fields:
+            value = values.get(f.name)
+            if value is None:
+                value = b"" if f.type is FieldType.CHAR else 0
+            parts.append(self.encode_field(f.name, value))
+        return b"".join(parts)
+
+    def decode(self, record: bytes) -> dict:
+        if len(record) != self.record_size:
+            raise ConfigError(
+                f"record is {len(record)} bytes, schema says {self.record_size}"
+            )
+        values = {}
+        for f in self.fields:
+            offset = self._offsets[f.name]
+            values[f.name] = self.decode_field(
+                f.name, record[offset : offset + f.byte_size]
+            )
+        return values
+
+    def to_dict(self) -> dict:
+        """JSON-friendly description (persisted in the catalog)."""
+        return {
+            "fields": [
+                {"name": f.name, "type": f.type.value, "size": f.size}
+                for f in self.fields
+            ]
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "Schema":
+        return cls(
+            [
+                Field(f["name"], FieldType(f["type"]), f.get("size", 0))
+                for f in data["fields"]
+            ]
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        names = ", ".join(f.name for f in self.fields)
+        return f"Schema([{names}], record_size={self.record_size})"

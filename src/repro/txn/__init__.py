@@ -1,0 +1,18 @@
+"""Transactions, latches, logical locks, and the prescribed update interface."""
+
+from repro.txn.latches import Latch, LatchTable
+from repro.txn.locks import LockManager, LockMode
+from repro.txn.transaction import ActiveTransactionTable, Operation, Transaction, TxnStatus
+from repro.txn.manager import TransactionManager
+
+__all__ = [
+    "Latch",
+    "LatchTable",
+    "LockManager",
+    "LockMode",
+    "Transaction",
+    "Operation",
+    "TxnStatus",
+    "ActiveTransactionTable",
+    "TransactionManager",
+]

@@ -1,0 +1,144 @@
+"""Latches: short-duration shared/exclusive synchronization primitives.
+
+The paper uses three latch roles: the per-region *protection latch*
+(Section 3.1), the *codeword latch* guarding codeword values under the
+Data Codeword scheme (Section 3.2), and the *system log latch* serializing
+flushes (Section 2.1).
+
+Latches here are real (thread-safe, blocking) so multi-threaded tests can
+exercise them, but the performance study -- like the paper's -- runs a
+single process, so only their *cost* (charged by callers per
+acquire/release pair) shows up in the benchmark, never contention.
+"""
+
+from __future__ import annotations
+
+import threading
+from contextlib import contextmanager
+
+from repro.errors import LatchError
+
+SHARED = "S"
+EXCLUSIVE = "X"
+
+
+class Latch:
+    """A shared/exclusive latch, reentrant for its current owner thread."""
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self._cond = threading.Condition()
+        self._shared_holders: dict[int, int] = {}  # thread id -> depth
+        self._exclusive_owner: int | None = None
+        self._exclusive_depth = 0
+        self.acquire_count = 0
+
+    # ---------------------------------------------------------- acquire
+
+    def acquire(self, mode: str, timeout: float | None = 10.0) -> None:
+        if mode not in (SHARED, EXCLUSIVE):
+            raise LatchError(f"bad latch mode {mode!r}")
+        me = threading.get_ident()
+        with self._cond:
+            deadline = None if timeout is None else (
+                threading.TIMEOUT_MAX if timeout <= 0 else timeout
+            )
+            while not self._grantable(mode, me):
+                if not self._cond.wait(timeout=deadline):
+                    raise LatchError(
+                        f"timeout acquiring latch {self.name!r} in mode {mode}"
+                    )
+            self._grant(mode, me)
+            self.acquire_count += 1
+
+    def _grantable(self, mode: str, me: int) -> bool:
+        if self._exclusive_owner == me:
+            return True  # reentrant: exclusive owner may nest either mode
+        if mode == SHARED:
+            return self._exclusive_owner is None
+        # Exclusive request: grantable if free, or if we are the sole
+        # shared holder (upgrade).
+        if self._exclusive_owner is not None:
+            return False
+        if not self._shared_holders:
+            return True
+        return set(self._shared_holders) == {me}
+
+    def _grant(self, mode: str, me: int) -> None:
+        if self._exclusive_owner == me:
+            self._exclusive_depth += 1
+            return
+        if mode == SHARED:
+            self._shared_holders[me] = self._shared_holders.get(me, 0) + 1
+            return
+        # Exclusive grant; fold any shared depth we held into exclusive depth
+        # so releases pair up (upgrade path).
+        upgraded_depth = self._shared_holders.pop(me, 0)
+        self._exclusive_owner = me
+        self._exclusive_depth = 1 + upgraded_depth
+
+    # ---------------------------------------------------------- release
+
+    def release(self) -> None:
+        me = threading.get_ident()
+        with self._cond:
+            if self._exclusive_owner == me:
+                self._exclusive_depth -= 1
+                if self._exclusive_depth == 0:
+                    self._exclusive_owner = None
+            elif me in self._shared_holders:
+                self._shared_holders[me] -= 1
+                if self._shared_holders[me] == 0:
+                    del self._shared_holders[me]
+            else:
+                raise LatchError(
+                    f"thread releasing latch {self.name!r} it does not hold"
+                )
+            self._cond.notify_all()
+
+    # ------------------------------------------------------------ views
+
+    def held_exclusive(self) -> bool:
+        return self._exclusive_owner is not None
+
+    def held(self) -> bool:
+        return self._exclusive_owner is not None or bool(self._shared_holders)
+
+    @contextmanager
+    def shared(self):
+        self.acquire(SHARED)
+        try:
+            yield self
+        finally:
+            self.release()
+
+    @contextmanager
+    def exclusive(self):
+        self.acquire(EXCLUSIVE)
+        try:
+            yield self
+        finally:
+            self.release()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Latch({self.name!r})"
+
+
+class LatchTable:
+    """Lazily-created named latches (one protection latch per region)."""
+
+    def __init__(self, prefix: str) -> None:
+        self.prefix = prefix
+        self._latches: dict[int, Latch] = {}
+        self._guard = threading.Lock()
+
+    def latch(self, key: int) -> Latch:
+        with self._guard:
+            latch = self._latches.get(key)
+            if latch is None:
+                latch = Latch(f"{self.prefix}[{key}]")
+                self._latches[key] = latch
+            return latch
+
+    def __len__(self) -> int:
+        return len(self._latches)

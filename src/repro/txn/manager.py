@@ -1,0 +1,351 @@
+"""The transaction manager: multi-level transactions over the memory image.
+
+This is the paper's *update model* (Section 1): all updates are in place,
+and correct updates are ones that use the prescribed interface --
+``begin_update``/``end_update`` brackets around every physical write, with
+reads going through :meth:`TransactionManager.read`.  Protection schemes
+hook these three points; anything that writes memory without them (a wild
+write through :meth:`~repro.mem.memory.MemoryImage.poke`) is by definition
+an addressing error.
+
+Multi-level structure follows Section 2.1: physical updates (level 0)
+happen inside operations (level >= 1) which happen inside transactions.
+On operation commit the operation's redo records move from the local redo
+log to the system log tail and its physical undo records are replaced by a
+logical undo record -- both before its operation-duration locks release.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Callable
+
+from repro.errors import TransactionError
+from repro.mem.memory import MemoryImage
+from repro.sim.clock import Meter
+from repro.txn.locks import LockManager, LockMode
+from repro.txn.transaction import (
+    ActiveTransactionTable,
+    Operation,
+    PendingUpdate,
+    Transaction,
+    TxnStatus,
+)
+from repro.wal.local_log import LogicalUndoEntry, PhysicalUndo
+from repro.wal.records import (
+    LogicalUndo,
+    OpBeginRecord,
+    OpCommitRecord,
+    TxnAbortRecord,
+    TxnBeginRecord,
+    TxnCommitRecord,
+    UpdateRecord,
+)
+from repro.wal.system_log import SystemLog
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.core.schemes import ProtectionScheme
+
+
+class TransactionManager:
+    """Coordinates transactions, operations, locking, logging and schemes."""
+
+    def __init__(
+        self,
+        memory: MemoryImage,
+        system_log: SystemLog,
+        locks: LockManager,
+        scheme: "ProtectionScheme",
+        meter: Meter,
+    ) -> None:
+        self.memory = memory
+        self.system_log = system_log
+        self.locks = locks
+        self.scheme = scheme
+        self.meter = meter
+        self.att = ActiveTransactionTable()
+        # The storage layer installs an executor that interprets logical
+        # undo descriptions by running the inverse operation through the
+        # normal operation machinery.
+        self.undo_executor: Callable[[Transaction, LogicalUndo], None] | None = None
+        self._next_txn_id = 1
+        self._next_op_id = 1
+        self._next_seq = 1
+        self.committed_count = 0
+        self.aborted_count = 0
+
+    # ----------------------------------------------------- transactions
+
+    def begin(self, is_recovery: bool = False) -> Transaction:
+        """Start a transaction.  ``is_recovery`` marks compensation
+        transactions spawned by restart recovery (see TxnBeginRecord)."""
+        txn = Transaction(self._next_txn_id)
+        self._next_txn_id += 1
+        self.att.add(txn)
+        self.system_log.append(TxnBeginRecord(txn.txn_id, is_recovery))
+        self.meter.charge("txn_begin")
+        return txn
+
+    def commit(self, txn: Transaction) -> None:
+        txn.require_active()
+        if txn.op_stack:
+            raise TransactionError(
+                f"transaction {txn.txn_id} still has {len(txn.op_stack)} open "
+                "operation(s) at commit"
+            )
+        if txn.pending_update is not None:
+            raise TransactionError(
+                f"transaction {txn.txn_id} has an open update window at commit"
+            )
+        # Reads performed outside any operation are still sitting in the
+        # local redo log; migrate them so the audit trail is complete.
+        for record in txn.redo_log.take_from(0):
+            self.system_log.append(record, charge=False)
+        self.system_log.append(TxnCommitRecord(txn.txn_id))
+        self.system_log.flush()
+        self.meter.charge("txn_commit")
+        txn.status = TxnStatus.COMMITTED
+        self._release_txn_locks(txn)
+        self.att.remove(txn.txn_id)
+        self.committed_count += 1
+
+    def abort(self, txn: Transaction) -> None:
+        """Roll the transaction back completely (normal processing path)."""
+        txn.require_active()
+        self._rollback_pending_update(txn)
+        while txn.op_stack:
+            self.abort_operation(txn)
+        # What remains in the undo log are logical undos of committed
+        # operations; execute their inverses newest-first.
+        entries = list(txn.undo_log.entries)
+        txn.undo_log.entries.clear()
+        for entry in reversed(entries):
+            if not isinstance(entry, LogicalUndoEntry):  # pragma: no cover
+                raise TransactionError(
+                    "physical undo entry outside any open operation"
+                )
+            self._execute_logical_undo(txn, entry.undo)
+        # The inverse operations appended their own undo entries; the
+        # transaction is ending, so they are discarded.
+        txn.undo_log.entries.clear()
+        self.system_log.append(TxnAbortRecord(txn.txn_id))
+        self.system_log.flush()
+        txn.status = TxnStatus.ABORTED
+        self._release_txn_locks(txn)
+        self.att.remove(txn.txn_id)
+        self.aborted_count += 1
+
+    def _release_txn_locks(self, txn: Transaction) -> None:
+        for _key in self.locks.locks_held(txn.txn_id):
+            self.meter.charge("lock_release")
+        self.locks.release_all(txn.txn_id)
+
+    # ------------------------------------------------------- operations
+
+    def begin_operation(self, txn: Transaction, object_key: str) -> Operation:
+        txn.require_active()
+        op = Operation(
+            op_id=self._next_op_id,
+            level=txn.depth + 1,
+            object_key=object_key,
+            redo_mark=txn.redo_log.mark(),
+            undo_mark=len(txn.undo_log.entries),
+        )
+        self._next_op_id += 1
+        txn.op_stack.append(op)
+        self.meter.charge("op_begin")
+        return op
+
+    def commit_operation(self, txn: Transaction, logical_undo: LogicalUndo) -> None:
+        txn.require_active()
+        op = txn.current_op
+        if txn.pending_update is not None:
+            raise TransactionError(
+                f"operation {op.op_id} commits with an open update window"
+            )
+        # Move redo records to the system log tail bracketed by OpBegin /
+        # OpCommit, then replace physical undo with the logical undo --
+        # all before lock release.  The OpBegin record is synthesized here
+        # rather than at begin_operation so it carries the operation's
+        # final object key (an insert only knows its slot after
+        # allocation); order in the system log is unchanged since local
+        # records only migrate at commit anyway.
+        migrated = txn.redo_log.take_from(op.redo_mark)
+        self.system_log.append(
+            OpBeginRecord(txn.txn_id, op.op_id, op.level, op.object_key)
+        )
+        for record in migrated:
+            self.system_log.append(record, charge=False)
+        self.system_log.append(
+            OpCommitRecord(txn.txn_id, op.op_id, op.level, op.object_key, logical_undo)
+        )
+        # Replace the operation's undo entries with one logical undo.
+        del txn.undo_log.entries[op.undo_mark :]
+        txn.undo_log.entries.append(
+            LogicalUndoEntry(
+                seq=self._take_seq(),
+                op_id=op.op_id,
+                level=op.level,
+                object_key=op.object_key,
+                undo=logical_undo,
+            )
+        )
+        txn.op_stack.pop()
+        self.locks.release_operation(txn.txn_id, op.op_id)
+        self.scheme.on_operation_end(txn)
+        self.meter.charge("op_commit")
+
+    def abort_operation(self, txn: Transaction) -> None:
+        """Roll back the innermost open operation."""
+        txn.require_active()
+        op = txn.current_op
+        self._rollback_pending_update(txn)
+        tail = txn.undo_log.entries[op.undo_mark :]
+        del txn.undo_log.entries[op.undo_mark :]
+        for entry in reversed(tail):
+            if isinstance(entry, PhysicalUndo):
+                self._apply_physical_undo(txn, entry)
+            else:
+                self._execute_logical_undo(txn, entry.undo)
+        # Inverse operations appended fresh undo entries; this operation's
+        # scope is fully compensated, so drop them.
+        del txn.undo_log.entries[op.undo_mark :]
+        txn.redo_log.discard_from(op.redo_mark)
+        txn.op_stack.pop()
+        self.locks.release_operation(txn.txn_id, op.op_id)
+        self.scheme.on_operation_end(txn)
+
+    def _execute_logical_undo(self, txn: Transaction, undo: LogicalUndo) -> None:
+        if undo.op_name == "noop":
+            return
+        if self.undo_executor is None:
+            raise TransactionError(
+                f"no undo executor installed; cannot run logical undo "
+                f"{undo.op_name!r}"
+            )
+        self.undo_executor(txn, undo)
+
+    def _apply_physical_undo(self, txn: Transaction, entry: PhysicalUndo) -> None:
+        """Restore a before-image; the scheme handles codeword/MMU details."""
+        self.scheme.apply_physical_undo(txn, entry)
+        self.meter.charge("undo_apply")
+
+    def _rollback_pending_update(self, txn: Transaction) -> None:
+        """Close an update window left open by an error path."""
+        if txn.pending_update is None:
+            return
+        pending = txn.pending_update
+        txn.pending_update = None
+        entry = txn.undo_log.entries[pending.undo_index]
+        if not isinstance(entry, PhysicalUndo):  # pragma: no cover
+            raise TransactionError("pending update lost its undo entry")
+        del txn.undo_log.entries[pending.undo_index :]
+        self.scheme.close_update_window(txn, pending.address, pending.length)
+        self._apply_physical_undo(txn, entry)
+
+    # ------------------------------------------------------------ locks
+
+    def lock(
+        self,
+        txn: Transaction,
+        key: str,
+        mode: LockMode = LockMode.EXCLUSIVE,
+        duration: str = "txn",
+    ) -> None:
+        op_id = txn.op_stack[-1].op_id if txn.op_stack else None
+        self.locks.acquire(txn.txn_id, key, mode, duration, op_id)
+        self.meter.charge("lock_acquire")
+
+    # -------------------------------------------------- prescribed I/O
+
+    def read(self, txn: Transaction, address: int, length: int) -> bytes:
+        """Prescribed read; protection schemes hook here (precheck, read log)."""
+        txn.require_active()
+        self.scheme.on_read(txn, address, length)
+        if not txn.op_stack and txn.redo_log.records:
+            # A read outside any operation has no operation commit to ride
+            # to the system log; migrate its read record immediately so
+            # the log preserves read-before-subsequent-write order, which
+            # delete-transaction recovery relies on for tracing.
+            for record in txn.redo_log.take_from(0):
+                self.system_log.append(record, charge=False)
+        return self.memory.read(address, length)
+
+    def begin_update(self, txn: Transaction, address: int, length: int) -> None:
+        """Open an update window: capture the undo image, notify the scheme."""
+        txn.require_active()
+        op = txn.current_op  # updates must happen inside an operation
+        if txn.pending_update is not None:
+            raise TransactionError(
+                f"transaction {txn.txn_id} already has an open update window"
+            )
+        self.scheme.on_begin_update(txn, address, length)
+        undo_image = self.memory.read(address, length)
+        entry = PhysicalUndo(
+            seq=self._take_seq(),
+            op_id=op.op_id,
+            address=address,
+            image=undo_image,
+            codeword_applied=False,
+        )
+        txn.undo_log.append_physical(entry)
+        txn.pending_update = PendingUpdate(
+            address=address,
+            length=length,
+            undo_image=undo_image,
+            undo_index=len(txn.undo_log.entries) - 1,
+        )
+        self.meter.charge("begin_update")
+        self.meter.charge("log_record")
+        self.meter.charge("log_byte", length)
+
+    def write(self, txn: Transaction, address: int, data: bytes) -> None:
+        """Write inside the currently open update window."""
+        pending = self._require_pending(txn)
+        if not (
+            pending.address <= address
+            and address + len(data) <= pending.address + pending.length
+        ):
+            raise TransactionError(
+                f"write of {len(data)} bytes at {address:#x} is outside the "
+                f"open update window [{pending.address:#x}, "
+                f"{pending.address + pending.length:#x})"
+            )
+        self.memory.write(address, data)
+
+    def end_update(self, txn: Transaction) -> None:
+        """Close the update window: maintain codewords, log the redo image."""
+        pending = self._require_pending(txn)
+        new_image = self.memory.read(pending.address, pending.length)
+        old_checksum = self.scheme.on_end_update(
+            txn, pending.address, pending.undo_image, new_image
+        )
+        entry = txn.undo_log.entries[pending.undo_index]
+        if isinstance(entry, PhysicalUndo):
+            entry.codeword_applied = True
+        txn.redo_log.append(
+            UpdateRecord(txn.txn_id, pending.address, new_image, old_checksum)
+        )
+        txn.pending_update = None
+        self.meter.charge("end_update")
+        self.meter.charge("log_record")
+        self.meter.charge("log_byte", len(new_image))
+
+    def update(self, txn: Transaction, address: int, data: bytes) -> None:
+        """Convenience: begin_update + write + end_update."""
+        self.begin_update(txn, address, len(data))
+        self.write(txn, address, data)
+        self.end_update(txn)
+
+    def _require_pending(self, txn: Transaction) -> PendingUpdate:
+        txn.require_active()
+        if txn.pending_update is None:
+            raise TransactionError(
+                f"transaction {txn.txn_id} has no open update window; writes "
+                "must be bracketed by begin_update/end_update"
+            )
+        return txn.pending_update
+
+    def _take_seq(self) -> int:
+        seq = self._next_seq
+        self._next_seq += 1
+        return seq

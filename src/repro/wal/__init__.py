@@ -1,0 +1,40 @@
+"""Logging subsystem: record codec, local per-transaction logs, system log."""
+
+from repro.wal.records import (
+    AuditBeginRecord,
+    AuditEndRecord,
+    LogRecord,
+    LogicalUndo,
+    OpBeginRecord,
+    OpCommitRecord,
+    ReadRecord,
+    TxnAbortRecord,
+    TxnBeginRecord,
+    TxnCommitRecord,
+    UpdateRecord,
+    decode_record,
+    encode_record,
+)
+from repro.wal.local_log import LocalRedoLog, LogicalUndoEntry, PhysicalUndo, UndoLog
+from repro.wal.system_log import SystemLog
+
+__all__ = [
+    "LogRecord",
+    "UpdateRecord",
+    "ReadRecord",
+    "OpBeginRecord",
+    "OpCommitRecord",
+    "TxnBeginRecord",
+    "TxnCommitRecord",
+    "TxnAbortRecord",
+    "AuditBeginRecord",
+    "AuditEndRecord",
+    "LogicalUndo",
+    "encode_record",
+    "decode_record",
+    "PhysicalUndo",
+    "LogicalUndoEntry",
+    "UndoLog",
+    "LocalRedoLog",
+    "SystemLog",
+]

@@ -1,0 +1,384 @@
+"""Log record types and their binary codec.
+
+Record kinds follow Section 2.1 plus the paper's two additions:
+
+* ``ReadRecord`` -- the Read Logging scheme's "identity of the item and an
+  optional checksum of the value, but not the value itself" (Section 4.2);
+* ``UpdateRecord.old_checksum`` -- the "codewords in write log records"
+  extension of Section 4.3, which lets a write be treated as a read
+  followed by a write during corruption recovery.
+
+Stable-log framing is ``u32 length | u8 type | payload | u32 crc32``; the
+CRC covers type and payload, so a torn or corrupted stable log is detected
+at scan time instead of silently replayed.
+"""
+
+from __future__ import annotations
+
+import struct
+import zlib
+from dataclasses import dataclass, field
+from enum import IntEnum
+
+from repro.errors import LogError
+
+
+class RecordType(IntEnum):
+    UPDATE = 1
+    READ = 2
+    OP_BEGIN = 3
+    OP_COMMIT = 4
+    TXN_BEGIN = 5
+    TXN_COMMIT = 6
+    TXN_ABORT = 7
+    AUDIT_BEGIN = 8
+    AUDIT_END = 9
+    AMEND = 10
+
+
+@dataclass(frozen=True)
+class LogicalUndo:
+    """A logical undo description carried by an operation commit record.
+
+    ``op_name`` selects an inverse operation from the storage layer's
+    operation registry; ``args`` are its arguments (ints, strings or
+    bytes).
+    """
+
+    op_name: str
+    args: tuple = ()
+
+    def encode(self) -> bytes:
+        parts = [_encode_str(self.op_name), struct.pack("<H", len(self.args))]
+        for arg in self.args:
+            if isinstance(arg, bool):  # bool is an int subclass; keep it distinct
+                parts.append(b"b" + struct.pack("<B", int(arg)))
+            elif isinstance(arg, int):
+                parts.append(b"i" + struct.pack("<q", arg))
+            elif isinstance(arg, str):
+                parts.append(b"s" + _encode_str(arg))
+            elif isinstance(arg, bytes):
+                parts.append(b"y" + struct.pack("<I", len(arg)) + arg)
+            else:
+                raise LogError(
+                    f"logical undo argument of unsupported type {type(arg).__name__}"
+                )
+        return b"".join(parts)
+
+    @classmethod
+    def decode(cls, data: bytes, offset: int = 0) -> tuple["LogicalUndo", int]:
+        op_name, offset = _decode_str(data, offset)
+        (count,) = struct.unpack_from("<H", data, offset)
+        offset += 2
+        args = []
+        for _ in range(count):
+            tag = data[offset : offset + 1]
+            offset += 1
+            if tag == b"b":
+                args.append(bool(data[offset]))
+                offset += 1
+            elif tag == b"i":
+                (value,) = struct.unpack_from("<q", data, offset)
+                args.append(value)
+                offset += 8
+            elif tag == b"s":
+                value, offset = _decode_str(data, offset)
+                args.append(value)
+            elif tag == b"y":
+                (length,) = struct.unpack_from("<I", data, offset)
+                offset += 4
+                args.append(bytes(data[offset : offset + length]))
+                offset += length
+            else:
+                raise LogError(f"bad logical-undo argument tag {tag!r}")
+        return cls(op_name, tuple(args)), offset
+
+
+@dataclass(frozen=True)
+class LogRecord:
+    """Base class; ``lsn`` is assigned when the record reaches the system log."""
+
+    txn_id: int
+
+
+@dataclass(frozen=True)
+class UpdateRecord(LogRecord):
+    """Physical redo: the after-image of an in-place update."""
+
+    address: int
+    image: bytes = field(repr=False)
+    old_checksum: int | None = None  # CW-in-write-records extension
+
+    @property
+    def length(self) -> int:
+        return len(self.image)
+
+    def approx_size(self) -> int:
+        return 21 + len(self.image)
+
+
+@dataclass(frozen=True)
+class ReadRecord(LogRecord):
+    """Limited read logging: item identity, not the value (Section 4.2)."""
+
+    address: int
+    length: int
+    checksum: int | None = None
+
+    def approx_size(self) -> int:
+        return 21
+
+
+@dataclass(frozen=True)
+class OpBeginRecord(LogRecord):
+    op_id: int = 0
+    level: int = 1
+    object_key: str = ""
+
+    def approx_size(self) -> int:
+        return 15 + len(self.object_key)
+
+
+@dataclass(frozen=True)
+class OpCommitRecord(LogRecord):
+    op_id: int = 0
+    level: int = 1
+    object_key: str = ""
+    logical_undo: LogicalUndo = field(default_factory=lambda: LogicalUndo("noop"))
+
+    def approx_size(self) -> int:
+        return 15 + len(self.object_key) + len(self.logical_undo.op_name) + 8
+
+
+@dataclass(frozen=True)
+class TxnBeginRecord(LogRecord):
+    """Transaction start.  ``is_recovery`` marks compensation transactions
+    spawned by restart recovery's undo phase: an archive replay must never
+    recruit them into the CorruptTransTable (they run post-undo on a clean
+    image and their effects are part of the recovered history)."""
+
+    is_recovery: bool = False
+
+    def approx_size(self) -> int:
+        return 9
+
+
+@dataclass(frozen=True)
+class TxnCommitRecord(LogRecord):
+    def approx_size(self) -> int:
+        return 8
+
+
+@dataclass(frozen=True)
+class TxnAbortRecord(LogRecord):
+    def approx_size(self) -> int:
+        return 8
+
+
+@dataclass(frozen=True)
+class AuditBeginRecord(LogRecord):
+    """Marks the start of an audit; txn_id doubles as the audit id."""
+
+    def approx_size(self) -> int:
+        return 8
+
+
+@dataclass(frozen=True)
+class AuditEndRecord(LogRecord):
+    clean: bool = True
+    corrupt_regions: tuple[int, ...] = ()
+    region_size: int = 0
+
+    def approx_size(self) -> int:
+        return 17 + 4 * len(self.corrupt_regions)
+
+
+@dataclass(frozen=True)
+class AmendRecord(LogRecord):
+    """Log amendment written at the end of corruption recovery.
+
+    Section 4.3: "Note that this checkpoint invalidates all archives.
+    The log may be amended during recovery to avoid this problem, but
+    this scheme is omitted for simplicity."  This record is that
+    amendment: it preserves the corruption context (corrupt ranges,
+    ``Audit_SN``, checksum mode) so a later *archive* recovery can re-run
+    the same delete-transaction decisions while replaying the full log --
+    keeping archives taken before the corruption valid.
+
+    ``txn_id`` doubles as the recovery episode id.
+    """
+
+    corrupt_ranges: tuple[tuple[int, int], ...] = ()
+    audit_sn: int = 0
+    use_checksums: bool = False
+    #: user-specified transactions deleted as logical-corruption roots
+    root_txns: tuple[int, ...] = ()
+
+    def approx_size(self) -> int:
+        return 22 + 16 * len(self.corrupt_ranges) + 8 * len(self.root_txns)
+
+
+# --------------------------------------------------------------- codec
+
+
+def _encode_str(text: str) -> bytes:
+    raw = text.encode("utf-8")
+    return struct.pack("<H", len(raw)) + raw
+
+
+def _decode_str(data: bytes, offset: int) -> tuple[str, int]:
+    (length,) = struct.unpack_from("<H", data, offset)
+    offset += 2
+    text = data[offset : offset + length].decode("utf-8")
+    return text, offset + length
+
+
+_OPT_U32_NONE = 0xFFFFFFFFFFFFFFFF
+
+
+def _pack_opt_u32(value: int | None) -> bytes:
+    return struct.pack("<Q", _OPT_U32_NONE if value is None else value)
+
+
+def _unpack_opt_u32(data: bytes, offset: int) -> tuple[int | None, int]:
+    (raw,) = struct.unpack_from("<Q", data, offset)
+    return (None if raw == _OPT_U32_NONE else raw), offset + 8
+
+
+def encode_record(record: LogRecord) -> bytes:
+    """Encode a record with framing and CRC for the stable log."""
+    if isinstance(record, UpdateRecord):
+        rtype = RecordType.UPDATE
+        payload = (
+            struct.pack("<QqI", record.txn_id, record.address, len(record.image))
+            + _pack_opt_u32(record.old_checksum)
+            + record.image
+        )
+    elif isinstance(record, ReadRecord):
+        rtype = RecordType.READ
+        payload = struct.pack(
+            "<QqI", record.txn_id, record.address, record.length
+        ) + _pack_opt_u32(record.checksum)
+    elif isinstance(record, OpBeginRecord):
+        rtype = RecordType.OP_BEGIN
+        payload = struct.pack(
+            "<QQB", record.txn_id, record.op_id, record.level
+        ) + _encode_str(record.object_key)
+    elif isinstance(record, OpCommitRecord):
+        rtype = RecordType.OP_COMMIT
+        payload = (
+            struct.pack("<QQB", record.txn_id, record.op_id, record.level)
+            + _encode_str(record.object_key)
+            + record.logical_undo.encode()
+        )
+    elif isinstance(record, TxnBeginRecord):
+        rtype = RecordType.TXN_BEGIN
+        payload = struct.pack("<QB", record.txn_id, int(record.is_recovery))
+    elif isinstance(record, TxnCommitRecord):
+        rtype = RecordType.TXN_COMMIT
+        payload = struct.pack("<Q", record.txn_id)
+    elif isinstance(record, TxnAbortRecord):
+        rtype = RecordType.TXN_ABORT
+        payload = struct.pack("<Q", record.txn_id)
+    elif isinstance(record, AuditBeginRecord):
+        rtype = RecordType.AUDIT_BEGIN
+        payload = struct.pack("<Q", record.txn_id)
+    elif isinstance(record, AuditEndRecord):
+        rtype = RecordType.AUDIT_END
+        payload = struct.pack(
+            "<QBII",
+            record.txn_id,
+            int(record.clean),
+            record.region_size,
+            len(record.corrupt_regions),
+        ) + struct.pack(f"<{len(record.corrupt_regions)}I", *record.corrupt_regions)
+    elif isinstance(record, AmendRecord):
+        rtype = RecordType.AMEND
+        payload = struct.pack(
+            "<QQBII",
+            record.txn_id,
+            record.audit_sn,
+            int(record.use_checksums),
+            len(record.corrupt_ranges),
+            len(record.root_txns),
+        )
+        for start, length in record.corrupt_ranges:
+            payload += struct.pack("<qq", start, length)
+        payload += struct.pack(f"<{len(record.root_txns)}Q", *record.root_txns)
+    else:
+        raise LogError(f"cannot encode record of type {type(record).__name__}")
+
+    body = bytes([rtype]) + payload
+    crc = zlib.crc32(body) & 0xFFFFFFFF
+    return struct.pack("<I", len(body)) + body + struct.pack("<I", crc)
+
+
+def decode_record(data: bytes, offset: int = 0) -> tuple[LogRecord, int]:
+    """Decode one framed record; returns ``(record, next_offset)``."""
+    if offset + 4 > len(data):
+        raise LogError("truncated record frame")
+    (body_len,) = struct.unpack_from("<I", data, offset)
+    offset += 4
+    if offset + body_len + 4 > len(data):
+        raise LogError("truncated record body")
+    body = data[offset : offset + body_len]
+    offset += body_len
+    (crc,) = struct.unpack_from("<I", data, offset)
+    offset += 4
+    if zlib.crc32(body) & 0xFFFFFFFF != crc:
+        raise LogError("log record CRC mismatch")
+
+    rtype = RecordType(body[0])
+    payload = body[1:]
+    if rtype == RecordType.UPDATE:
+        txn_id, address, image_len = struct.unpack_from("<QqI", payload, 0)
+        old_checksum, pos = _unpack_opt_u32(payload, 20)
+        image = bytes(payload[pos : pos + image_len])
+        return UpdateRecord(txn_id, address, image, old_checksum), offset
+    if rtype == RecordType.READ:
+        txn_id, address, length = struct.unpack_from("<QqI", payload, 0)
+        checksum, _pos = _unpack_opt_u32(payload, 20)
+        return ReadRecord(txn_id, address, length, checksum), offset
+    if rtype == RecordType.OP_BEGIN:
+        txn_id, op_id, level = struct.unpack_from("<QQB", payload, 0)
+        key, _pos = _decode_str(payload, 17)
+        return OpBeginRecord(txn_id, op_id, level, key), offset
+    if rtype == RecordType.OP_COMMIT:
+        txn_id, op_id, level = struct.unpack_from("<QQB", payload, 0)
+        key, pos = _decode_str(payload, 17)
+        undo, _pos = LogicalUndo.decode(payload, pos)
+        return OpCommitRecord(txn_id, op_id, level, key, undo), offset
+    if rtype == RecordType.TXN_BEGIN:
+        txn_id, is_recovery = struct.unpack_from("<QB", payload, 0)
+        return TxnBeginRecord(txn_id, bool(is_recovery)), offset
+    if rtype == RecordType.TXN_COMMIT:
+        (txn_id,) = struct.unpack_from("<Q", payload, 0)
+        return TxnCommitRecord(txn_id), offset
+    if rtype == RecordType.TXN_ABORT:
+        (txn_id,) = struct.unpack_from("<Q", payload, 0)
+        return TxnAbortRecord(txn_id), offset
+    if rtype == RecordType.AUDIT_BEGIN:
+        (audit_id,) = struct.unpack_from("<Q", payload, 0)
+        return AuditBeginRecord(audit_id), offset
+    if rtype == RecordType.AUDIT_END:
+        audit_id, clean, region_size, count = struct.unpack_from("<QBII", payload, 0)
+        regions = struct.unpack_from(f"<{count}I", payload, 17)
+        return AuditEndRecord(audit_id, bool(clean), tuple(regions), region_size), offset
+    if rtype == RecordType.AMEND:
+        txn_id, audit_sn, use_checksums, count, root_count = struct.unpack_from(
+            "<QQBII", payload, 0
+        )
+        ranges = []
+        pos = 25
+        for _ in range(count):
+            start, length = struct.unpack_from("<qq", payload, pos)
+            ranges.append((start, length))
+            pos += 16
+        roots = struct.unpack_from(f"<{root_count}Q", payload, pos)
+        return (
+            AmendRecord(
+                txn_id, tuple(ranges), audit_sn, bool(use_checksums), tuple(roots)
+            ),
+            offset,
+        )
+    raise LogError(f"unknown record type {rtype}")  # pragma: no cover

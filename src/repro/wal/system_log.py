@@ -1,0 +1,181 @@
+"""The system log: in-memory tail plus stable on-disk log.
+
+"The contents of the system log tail are flushed to the stable system log
+on disk when a transaction commits, or during a checkpoint.  The system
+log latch must be obtained before performing a flush." (Section 2.1)
+
+LSNs are dense sequence numbers assigned when a record enters the tail
+(i.e. at operation commit, when local redo records migrate here).  The
+stable file stores ``u64 lsn`` followed by the framed record, so a scan
+can start from any LSN (``CK_end``, ``Audit_SN``).
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Iterator
+
+from repro.errors import LogError
+from repro.sim.clock import Meter
+from repro.txn.latches import Latch
+from repro.wal.records import LogRecord, decode_record, encode_record
+
+import struct
+
+_LSN_HEADER = struct.Struct("<Q")
+
+
+class SystemLog:
+    """System log tail + stable log file."""
+
+    def __init__(self, path: str, meter: Meter) -> None:
+        self.path = path
+        self.meter = meter
+        self.latch = Latch("system_log")
+        self.tail: list[tuple[int, LogRecord]] = []
+        self.next_lsn = 0
+        self.end_of_stable_lsn = 0  # records with lsn < this are on disk
+        self.torn_tail_detected = False
+        self._clean_prefix_bytes = 0
+        self._file = open(path, "ab")
+
+    # ------------------------------------------------------------ write
+
+    def append(self, record: LogRecord, charge: bool = True) -> int:
+        """Add a record to the tail; returns its LSN.
+
+        Records migrating from a local redo log were already charged when
+        first appended there; callers pass ``charge=False`` for those so
+        the move itself costs nothing extra (it is a pointer move in Dali).
+        """
+        lsn = self.next_lsn
+        self.next_lsn += 1
+        self.tail.append((lsn, record))
+        if charge:
+            self.meter.charge("log_record")
+            self.meter.charge("log_byte", record.approx_size())
+        return lsn
+
+    def extend(self, records: list[LogRecord]) -> tuple[int, int]:
+        """Append many records; returns ``(first_lsn, next_lsn)``."""
+        first = self.next_lsn
+        for record in records:
+            self.append(record)
+        return first, self.next_lsn
+
+    def flush(self) -> int:
+        """Flush the tail to the stable log; returns end_of_stable_lsn.
+
+        Holds the system log latch for the duration, as the paper requires
+        to serialize access to the flush buffers.
+        """
+        with self.latch.exclusive():
+            self.meter.charge("latch_pair")
+            if not self.tail:
+                return self.end_of_stable_lsn
+            self.meter.charge("flush_fixed")
+            chunks = []
+            byte_count = 0
+            for lsn, record in self.tail:
+                encoded = _LSN_HEADER.pack(lsn) + encode_record(record)
+                chunks.append(encoded)
+                byte_count += len(encoded)
+            self._file.write(b"".join(chunks))
+            self._file.flush()
+            self.meter.charge("flush_byte", byte_count)
+            self.end_of_stable_lsn = self.tail[-1][0] + 1
+            self.tail.clear()
+            return self.end_of_stable_lsn
+
+    def close(self) -> None:
+        self._file.close()
+
+    def crash(self) -> None:
+        """Simulate a process crash: the unflushed tail is lost."""
+        self.tail.clear()
+        self._file.close()
+
+    # ------------------------------------------------------------- read
+
+    def scan(
+        self, from_lsn: int = 0, strict: bool = False
+    ) -> Iterator[tuple[int, LogRecord]]:
+        """Yield ``(lsn, record)`` from the *stable* log, lsn >= from_lsn.
+
+        A crash can tear the last flush, leaving a truncated or
+        CRC-damaged record at the end of the file.  By default the scan
+        stops cleanly at the first undecodable record (setting
+        :attr:`torn_tail_detected`), which is the standard write-ahead-log
+        recovery behaviour; ``strict=True`` raises instead, for integrity
+        checks that must see every byte accounted for.
+        """
+        self.torn_tail_detected = False
+        self._clean_prefix_bytes = 0
+        if not os.path.exists(self.path):
+            return
+        with open(self.path, "rb") as handle:
+            data = handle.read()
+        offset = 0
+        previous_lsn = -1
+        while offset < len(data):
+            try:
+                if offset + _LSN_HEADER.size > len(data):
+                    raise LogError("truncated LSN header in stable log")
+                (lsn,) = _LSN_HEADER.unpack_from(data, offset)
+                record, offset = decode_record(data, offset + _LSN_HEADER.size)
+            except LogError:
+                if strict:
+                    raise
+                self.torn_tail_detected = True
+                return
+            self._clean_prefix_bytes = offset
+            if lsn <= previous_lsn:
+                raise LogError(
+                    f"stable log LSNs out of order: {lsn} after {previous_lsn}"
+                )
+            previous_lsn = lsn
+            if lsn >= from_lsn:
+                yield lsn, record
+
+    def truncate_before(self, lsn: int) -> int:
+        """Drop stable records with LSNs below ``lsn``; returns the count.
+
+        Standard log reclamation after a certified checkpoint: restart
+        recovery never reads below ``CK_end``.  Archive replay *does* read
+        below it, so callers that keep archives must not truncate past the
+        oldest archive's ``CK_end`` (see ``Database.truncate_log``).
+        """
+        kept: list[bytes] = []
+        removed = 0
+        for record_lsn, record in self.scan(0):
+            if record_lsn < lsn:
+                removed += 1
+            else:
+                kept.append(_LSN_HEADER.pack(record_lsn) + encode_record(record))
+        if removed == 0:
+            return 0
+        self._file.close()
+        with open(self.path, "wb") as handle:
+            handle.write(b"".join(kept))
+        self._file = open(self.path, "ab")
+        return removed
+
+    def truncate_torn_tail(self) -> bool:
+        """Cut a torn tail found by the last :meth:`scan` off the file.
+
+        Must be called before any further flush appends records, or the
+        new records would land after undecodable garbage.  Returns True
+        if anything was truncated.
+        """
+        if not self.torn_tail_detected:
+            return False
+        self._file.close()
+        with open(self.path, "r+b") as handle:
+            handle.truncate(self._clean_prefix_bytes)
+        self._file = open(self.path, "ab")
+        self.torn_tail_detected = False
+        return True
+
+    @property
+    def stable_record_count(self) -> int:
+        return sum(1 for _ in self.scan())

@@ -1,0 +1,76 @@
+"""Shared fixtures: small databases with selectable protection schemes."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import Database, DBConfig, Field, FieldType, Schema
+
+ACCT_SCHEMA = Schema(
+    [
+        Field("id", FieldType.INT64),
+        Field("balance", FieldType.INT64),
+        Field("name", FieldType.CHAR, 16),
+    ]
+)
+
+
+@pytest.fixture
+def db_factory(tmp_path):
+    """Create small single-table databases; closes them at teardown.
+
+    Usage::
+
+        db = db_factory(scheme="precheck", region_size=64)
+    """
+    created: list[Database] = []
+    counter = [0]
+
+    def make(
+        scheme: str = "baseline",
+        capacity: int = 200,
+        record_history: bool = True,
+        tables: list | None = None,
+        **scheme_params,
+    ) -> Database:
+        counter[0] += 1
+        config = DBConfig(
+            dir=str(tmp_path / f"db{counter[0]}"),
+            scheme=scheme,
+            scheme_params=scheme_params,
+            record_history=record_history,
+        )
+        db = Database(config)
+        if tables is None:
+            db.create_table("acct", ACCT_SCHEMA, capacity, key_field="id")
+        else:
+            for name, schema, cap, key in tables:
+                db.create_table(name, schema, cap, key_field=key)
+        db.start()
+        created.append(db)
+        return db
+
+    yield make
+    for db in created:
+        try:
+            db.close()
+        except Exception:
+            pass
+
+
+@pytest.fixture
+def db(db_factory):
+    """A baseline-scheme single-table database."""
+    return db_factory()
+
+
+def insert_accounts(db: Database, count: int, balance: int = 100) -> dict[int, int]:
+    """Insert ``count`` accounts; returns {id: slot}."""
+    table = db.table("acct")
+    txn = db.begin()
+    slots = {
+        i: table.insert(txn, {"id": i, "balance": balance, "name": f"acct{i}"})
+        for i in range(count)
+    }
+    db.commit(txn)
+    return slots

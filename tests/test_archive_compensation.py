@@ -1,0 +1,122 @@
+"""Archive replay vs logged compensations: the non-idempotent cases.
+
+When corruption recovery rolls back a deleted transaction's committed
+operations, the compensations run as *logged* recovery transactions.  An
+archive replay therefore sees both the original operations and their
+compensations in the log, plus the frozen undo logs it reconstructs
+itself.  Three mechanisms keep that single-compensation-exactly-once:
+
+* recovery transactions are flagged in their TxnBegin records and are
+  never recruited during a replay;
+* passing an AmendRecord clears the frozen undo logs of corrupt
+  transactions (their compensations are already on the log);
+* recovery-time logical undo is lenient (idempotent) for the residual
+  crash-during-recovery window.
+
+These tests use INSERT compensation (a delete), which is not idempotent
+-- the case that would fail without the mechanisms above.
+"""
+
+import pytest
+
+from repro import Database, FaultInjector
+from repro.recovery.archive import create_archive, recover_from_archive
+
+from tests.conftest import insert_accounts
+
+
+def insert_carrier_episode(db_factory, scheme="cw_read_logging"):
+    """Archive; carrier txn INSERTS then reads corrupt data; recover."""
+    db = db_factory(scheme=scheme)
+    slots = insert_accounts(db, 8)
+    info = create_archive(db, db.path("arch"))
+    table = db.table("acct")
+    FaultInjector(db, seed=5).wild_write(table.record_address(slots[1]) + 8, 8)
+    # The carrier commits an INSERT before reading corrupt data, so the
+    # insert is applied and must later be compensated by a delete.
+    txn = db.begin()
+    new_slot = table.insert(txn, {"id": 500, "balance": 5})
+    bogus = table.read(txn, slots[1])["balance"]
+    table.update(txn, slots[2], {"balance": bogus})
+    db.commit(txn)
+    carrier = txn.txn_id
+    report = db.audit()
+    assert not report.clean
+    db.crash_with_corruption(report)
+    db2, recovery = Database.recover(db.config)
+    assert carrier in recovery.deleted_set
+    txn = db2.begin()
+    assert db2.table("acct").lookup(txn, 500) is None  # insert compensated
+    db2.commit(txn)
+    return db2, info, slots, carrier, new_slot
+
+
+class TestInsertCompensationThroughArchive:
+    def test_replay_compensates_exactly_once(self, db_factory):
+        db2, info, slots, carrier, new_slot = insert_carrier_episode(db_factory)
+        # Post-recovery work that reuses the freed slot raises the stakes:
+        # a double-delete during replay would destroy it.
+        txn = db2.begin()
+        reused = db2.table("acct").insert(txn, {"id": 600, "balance": 6})
+        db2.commit(txn)
+        assert reused == new_slot
+        db2.crash()
+        db3, replay = recover_from_archive(db2.config, info.path)
+        assert carrier in replay.deleted_set
+        txn = db3.begin()
+        table = db3.table("acct")
+        assert table.lookup(txn, 500) is None
+        assert table.lookup(txn, 600) == new_slot  # survived the replay
+        assert table.read(txn, slots[2])["balance"] == 100
+        db3.commit(txn)
+        assert db3.audit().clean
+        db3.close()
+
+    def test_recovery_transactions_not_recruited_in_replay(self, db_factory):
+        db2, info, _slots, carrier, _new_slot = insert_carrier_episode(db_factory)
+        db2.crash()
+        _db3, replay = recover_from_archive(db2.config, info.path)
+        # Only the carrier is deleted; no recovery transaction appears.
+        assert replay.deleted_set == {carrier}
+        _db3.close()
+
+    def test_crash_during_recovery_with_insert_compensation(self, db_factory):
+        """The residual window: recovery compensates (logged), crashes
+        before its amend record + final checkpoint.  The second recovery
+        re-freezes the carrier's undo log AND replays the logged
+        compensation -- lenient undo keeps that from double-deleting."""
+        db = db_factory(scheme="cw_read_logging")
+        slots = insert_accounts(db, 8)
+        db.checkpoint()
+        table = db.table("acct")
+        FaultInjector(db, seed=5).wild_write(table.record_address(slots[1]) + 8, 8)
+        txn = db.begin()
+        table.insert(txn, {"id": 500, "balance": 5})
+        table.read(txn, slots[1])
+        db.commit(txn)
+        carrier = txn.txn_id
+        report = db.audit()
+        db.crash_with_corruption(report)
+
+        from repro.recovery.restart import RestartRecovery, load_corruption_note
+
+        shell = Database(db.config)
+        shell._load_catalog()
+        shell._build_layout()
+        shell._open_log_and_manager()
+        recovery = RestartRecovery(shell, load_corruption_note(shell))
+        recovery._finish = lambda: (_ for _ in ()).throw(
+            RuntimeError("simulated crash after undo, before amend")
+        )
+        with pytest.raises(RuntimeError):
+            recovery.run()
+        shell.system_log.flush()  # the compensation txns were flushed at commit
+        shell.system_log.crash()
+
+        db2, report2 = Database.recover(db.config)
+        assert carrier in report2.deleted_set
+        txn = db2.begin()
+        assert db2.table("acct").lookup(txn, 500) is None
+        db2.commit(txn)
+        assert db2.audit().clean
+        db2.close()

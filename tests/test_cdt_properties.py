@@ -1,0 +1,64 @@
+"""Property-based verification of the CorruptDataTable interval set."""
+
+from hypothesis import given, strategies as st
+
+from repro.recovery.restart import CorruptDataTable
+
+interval = st.tuples(
+    st.integers(min_value=0, max_value=500),
+    st.integers(min_value=1, max_value=60),
+)
+
+
+class NaiveModel:
+    """Reference implementation: an explicit byte set."""
+
+    def __init__(self) -> None:
+        self.bytes: set[int] = set()
+
+    def add(self, start: int, length: int) -> None:
+        self.bytes.update(range(start, start + length))
+
+    def overlaps(self, start: int, length: int) -> bool:
+        return any(b in self.bytes for b in range(start, start + length))
+
+
+class TestAgainstNaiveModel:
+    @given(adds=st.lists(interval, max_size=30), probes=st.lists(interval, max_size=30))
+    def test_overlap_queries_match_byte_set(self, adds, probes):
+        cdt = CorruptDataTable()
+        model = NaiveModel()
+        for start, length in adds:
+            cdt.add(start, length)
+            model.add(start, length)
+        for start, length in probes:
+            assert cdt.overlaps(start, length) == model.overlaps(start, length), (
+                start,
+                length,
+            )
+
+    @given(adds=st.lists(interval, min_size=1, max_size=30))
+    def test_ranges_are_disjoint_sorted_and_cover_exactly(self, adds):
+        cdt = CorruptDataTable()
+        model = NaiveModel()
+        for start, length in adds:
+            cdt.add(start, length)
+            model.add(start, length)
+        ranges = cdt.ranges
+        # Sorted, disjoint, non-adjacent (adjacent ranges must merge).
+        for (s1, l1), (s2, _l2) in zip(ranges, ranges[1:]):
+            assert s1 + l1 < s2
+        covered = set()
+        for start, length in ranges:
+            covered.update(range(start, start + length))
+        assert covered == model.bytes
+
+    @given(adds=st.lists(interval, max_size=30))
+    def test_add_is_idempotent(self, adds):
+        cdt = CorruptDataTable()
+        for start, length in adds:
+            cdt.add(start, length)
+        snapshot = cdt.ranges
+        for start, length in adds:
+            cdt.add(start, length)
+        assert cdt.ranges == snapshot

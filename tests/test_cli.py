@@ -1,0 +1,26 @@
+"""The python -m repro.bench command-line interface."""
+
+import pytest
+
+from repro.bench.__main__ import main
+
+
+class TestCLI:
+    def test_table1_only(self, capsys):
+        assert main(["--table", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "Table 1" in out
+        assert "UltraSPARC 2" in out
+        assert "43,000" in out
+        assert "Table 2" not in out
+
+    def test_table2_tiny_scale(self, capsys):
+        assert main(["--table", "2", "--scale", "0.002"]) == 0
+        out = capsys.readouterr().out
+        assert "Table 2" in out
+        assert "Baseline" in out
+        assert "Memory Protection" in out
+
+    def test_bad_table_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["--table", "9"])

@@ -1,0 +1,97 @@
+"""XOR codeword arithmetic: unit and property-based tests."""
+
+import struct
+
+from hypothesis import given, strategies as st
+
+from repro.core.codeword import fold_words, positioned_fold, word_count
+
+
+class TestFoldWords:
+    def test_empty_is_zero(self):
+        assert fold_words(b"") == 0
+
+    def test_single_word(self):
+        assert fold_words(struct.pack("<I", 0xDEADBEEF)) == 0xDEADBEEF
+
+    def test_two_equal_words_cancel(self):
+        word = struct.pack("<I", 0x12345678)
+        assert fold_words(word + word) == 0
+
+    def test_unaligned_length_zero_padded(self):
+        # b"\x01" folds as the word 0x00000001
+        assert fold_words(b"\x01") == 1
+        assert fold_words(b"\x00\x00\x00\x00\x01") == 1
+
+    def test_known_xor(self):
+        data = struct.pack("<II", 0xFF00FF00, 0x00FF00FF)
+        assert fold_words(data) == 0xFFFFFFFF
+
+    def test_numpy_and_loop_paths_agree(self):
+        # 256 bytes triggers the numpy path; build the same fold manually.
+        data = bytes(range(256))
+        expected = 0
+        for (word,) in struct.iter_unpack("<I", data):
+            expected ^= word
+        assert fold_words(data) == expected
+
+    @given(st.binary(max_size=600))
+    def test_fold_is_self_inverse_under_concat(self, data):
+        """Folding data twice (word-aligned concat) cancels out."""
+        if len(data) % 4:
+            data = data + b"\x00" * (4 - len(data) % 4)
+        assert fold_words(data + data) == 0
+
+    @given(st.binary(max_size=600), st.binary(max_size=600))
+    def test_fold_concat_is_xor_of_folds_when_aligned(self, a, b):
+        if len(a) % 4:
+            a = a + b"\x00" * (4 - len(a) % 4)
+        assert fold_words(a + b) == fold_words(a) ^ fold_words(b)
+
+
+class TestPositionedFold:
+    def test_aligned_matches_plain_fold(self):
+        data = b"\x01\x02\x03\x04\x05"
+        assert positioned_fold(100, data) == fold_words(data)
+
+    def test_offset_shifts_byte_within_word(self):
+        assert positioned_fold(2, b"\xab") == 0xAB0000
+
+    @given(st.integers(min_value=0, max_value=1 << 20), st.binary(min_size=1, max_size=64))
+    def test_positioned_fold_matches_in_context(self, address, data):
+        """positioned_fold == fold of the word-aligned window with zeros outside."""
+        lead = address % 4
+        window = b"\x00" * lead + data
+        assert positioned_fold(address, data) == fold_words(window)
+
+    @given(
+        st.integers(min_value=0, max_value=255),
+        st.binary(min_size=8, max_size=64),
+        st.binary(min_size=1, max_size=16),
+    )
+    def test_incremental_update_matches_recompute(self, offset, region, patch):
+        """cw ^= pfold(old) ^ pfold(new) equals recomputing the fold."""
+        if offset + len(patch) > len(region):
+            offset = max(0, len(region) - len(patch))
+        if len(region) % 4:
+            region = region + b"\x00" * (4 - len(region) % 4)
+        old_slice = region[offset : offset + len(patch)]
+        patched = region[:offset] + patch + region[offset + len(patch) :]
+        incremental = (
+            fold_words(region)
+            ^ positioned_fold(offset, old_slice)
+            ^ positioned_fold(offset, patch)
+        )
+        assert incremental == fold_words(patched)
+
+
+class TestWordCount:
+    def test_exact_words(self):
+        assert word_count(8) == 2
+
+    def test_rounds_up(self):
+        assert word_count(9) == 3
+        assert word_count(1) == 1
+
+    def test_zero(self):
+        assert word_count(0) == 0

@@ -1,0 +1,147 @@
+"""Latch-mode concurrency semantics of Section 3.1/3.2.
+
+"If so, a new latch, the codeword latch, may be introduced to guard the
+update to the actual codewords, and the protection latch for a region
+need only be held in shared mode by updaters.  During audit, the
+protection latch must be taken in exclusive mode."
+
+These tests drive the scheme hooks directly from two threads (each with
+its own transaction object) and verify who blocks whom:
+
+* Data Codeword: two updaters share a region's protection latch;
+* Read Prechecking: updaters exclude each other and readers;
+* audits exclude updaters under both.
+"""
+
+from __future__ import annotations
+
+import threading
+
+from repro.core.data_codeword import DataCodewordScheme
+from repro.core.precheck import ReadPrecheckScheme
+from repro.mem.memory import MemoryImage
+from repro.sim.clock import Meter, VirtualClock
+from repro.sim.costs import CostModel
+from repro.txn.transaction import Transaction
+
+REGION = 4096
+
+
+def make_scheme(cls, **kwargs):
+    memory = MemoryImage(page_size=4096)
+    memory.add_segment("data", 2 * REGION)
+    scheme = cls(region_size=REGION, **kwargs)
+    scheme.attach(memory, Meter(VirtualClock(), CostModel.free()))
+    scheme.startup()
+    return scheme, memory
+
+
+def window_in_thread(scheme, address, entered: threading.Event, release: threading.Event):
+    """Open an update window in a thread; signal entry, wait to close."""
+    txn = Transaction(txn_id=999)
+
+    def work():
+        scheme.on_begin_update(txn, address, 8)
+        entered.set()
+        release.wait(timeout=5)
+        old = scheme.memory.read(address, 8)
+        new = b"\x01" * 8
+        scheme.memory.write(address, new)
+        scheme.on_end_update(txn, address, old, new)
+
+    thread = threading.Thread(target=work)
+    thread.start()
+    return thread
+
+
+class TestDataCodewordSharing:
+    def test_two_updaters_share_one_region(self):
+        """Both windows open concurrently in the SAME region."""
+        scheme, _memory = make_scheme(DataCodewordScheme)
+        entered_a, release_a = threading.Event(), threading.Event()
+        entered_b, release_b = threading.Event(), threading.Event()
+        thread_a = window_in_thread(scheme, 0, entered_a, release_a)
+        assert entered_a.wait(timeout=5)
+        thread_b = window_in_thread(scheme, 64, entered_b, release_b)
+        # B enters while A still holds its window: shared latch mode.
+        assert entered_b.wait(timeout=5)
+        release_a.set()
+        release_b.set()
+        thread_a.join(timeout=5)
+        thread_b.join(timeout=5)
+        assert scheme.codeword_table.scan_mismatches() == []
+
+    def test_audit_excluded_while_updater_active(self):
+        """The auditor needs the protection latch exclusively."""
+        scheme, _memory = make_scheme(DataCodewordScheme)
+        entered, release = threading.Event(), threading.Event()
+        thread = window_in_thread(scheme, 0, entered, release)
+        assert entered.wait(timeout=5)
+        audit_done = threading.Event()
+        result = {}
+
+        def audit():
+            result["corrupt"] = scheme.audit_regions([0])
+            audit_done.set()
+
+        auditor = threading.Thread(target=audit)
+        auditor.start()
+        # The audit must NOT complete while the window is open.
+        assert not audit_done.wait(timeout=0.2)
+        release.set()
+        thread.join(timeout=5)
+        assert audit_done.wait(timeout=5)
+        auditor.join(timeout=5)
+        assert result["corrupt"] == []
+
+
+class TestPrecheckExclusion:
+    def test_updaters_exclude_each_other_in_a_region(self):
+        scheme, _memory = make_scheme(ReadPrecheckScheme)
+        entered_a, release_a = threading.Event(), threading.Event()
+        entered_b, release_b = threading.Event(), threading.Event()
+        thread_a = window_in_thread(scheme, 0, entered_a, release_a)
+        assert entered_a.wait(timeout=5)
+        thread_b = window_in_thread(scheme, 64, entered_b, release_b)
+        # B must block: exclusive protection latch.
+        assert not entered_b.wait(timeout=0.2)
+        release_a.set()
+        thread_a.join(timeout=5)
+        assert entered_b.wait(timeout=5)
+        release_b.set()
+        thread_b.join(timeout=5)
+        assert scheme.codeword_table.scan_mismatches() == []
+
+    def test_updaters_in_different_regions_do_not_interact(self):
+        scheme, _memory = make_scheme(ReadPrecheckScheme)
+        entered_a, release_a = threading.Event(), threading.Event()
+        entered_b, release_b = threading.Event(), threading.Event()
+        thread_a = window_in_thread(scheme, 0, entered_a, release_a)
+        assert entered_a.wait(timeout=5)
+        thread_b = window_in_thread(scheme, REGION, entered_b, release_b)
+        assert entered_b.wait(timeout=5)  # different region: no conflict
+        release_a.set()
+        release_b.set()
+        thread_a.join(timeout=5)
+        thread_b.join(timeout=5)
+
+    def test_reader_blocks_behind_open_window(self):
+        """Prechecking readers take the latch exclusively too."""
+        scheme, _memory = make_scheme(ReadPrecheckScheme)
+        entered, release = threading.Event(), threading.Event()
+        writer = window_in_thread(scheme, 0, entered, release)
+        assert entered.wait(timeout=5)
+        read_done = threading.Event()
+
+        def read():
+            txn = Transaction(txn_id=1000)
+            scheme.on_read(txn, 16, 8)
+            read_done.set()
+
+        reader = threading.Thread(target=read)
+        reader.start()
+        assert not read_done.wait(timeout=0.2)
+        release.set()
+        writer.join(timeout=5)
+        assert read_done.wait(timeout=5)
+        reader.join(timeout=5)

@@ -1,0 +1,96 @@
+"""Event accounting: the benchmark's decomposability guarantee.
+
+Every Table 2 slowdown must be explainable as "N events of kind K at C ns
+each"; these tests pin down the per-operation event counts that the cost
+model multiplies.
+"""
+
+from repro import DBConfig
+from repro.bench.tpcb import TPCBConfig, TPCBWorkload, build_tpcb_database, load_tpcb
+
+TINY = TPCBConfig(accounts=200, tellers=40, branches=4, operations=40, ops_per_txn=10)
+
+
+def run_workload(tmp_path, scheme, subdir=None, **params):
+    db = build_tpcb_database(
+        DBConfig(
+            dir=str(tmp_path / (subdir or scheme)),
+            scheme=scheme,
+            scheme_params=params,
+        ),
+        TINY,
+    )
+    load_tpcb(db, TINY)
+    db.meter.reset()
+    TPCBWorkload(db, TINY).run()
+    events = db.meter.snapshot()
+    db.close()
+    return {k: c / TINY.operations for k, (c, _ns) in events.items()}
+
+
+class TestBaselineCounts:
+    def test_per_operation_event_profile(self, tmp_path):
+        per_op = run_workload(tmp_path, "baseline")
+        # One TPC-B operation = 3 balance updates + 1 history insert.
+        assert per_op["base_operation"] == 1.0
+        assert per_op["op_begin"] == per_op["op_commit"] == 4.0
+        # 3 record updates x 1 field + history record + index entry +
+        # bucket head + allocator bitmap + 2 header updates = 9 windows.
+        assert per_op["begin_update"] == per_op["end_update"] == 9.0
+        assert per_op["record_read"] == 3.0
+        assert per_op["record_write"] == 4.0
+        assert per_op["index_probe"] == 3.0
+        assert per_op["index_update"] == 1.0
+
+    def test_pages_touched_matches_paper_order_of_magnitude(self, tmp_path):
+        """The paper observed ~11 pages updated per operation."""
+        per_op = run_workload(tmp_path, "hardware")
+        calls = per_op["mprotect_call"]
+        # one expose + one cover per update window
+        assert calls == 18.0
+        windows = calls / 2
+        assert 7 <= windows <= 13
+
+
+class TestSchemeCounts:
+    def test_data_cw_maintains_once_per_window(self, tmp_path):
+        per_op = run_workload(tmp_path, "data_cw")
+        assert per_op["cw_maint_fixed"] == per_op["end_update"] == 9.0
+        # Small updates (8-byte balances) and a 100-byte insert: the fold
+        # touches old+new images, tens of words per operation.
+        assert 60 <= per_op["cw_maint_word"] <= 140
+
+    def test_precheck_checks_scale_with_region_span(self, tmp_path):
+        per_64 = run_workload(tmp_path, "precheck", subdir="p64", region_size=64)
+        per_8k = run_workload(tmp_path, "precheck", subdir="p8k", region_size=8192)
+        # Smaller regions -> a 100-byte record spans more regions -> more
+        # checks; larger regions -> fewer checks but each folds more words.
+        assert per_64["cw_check_fixed"] > per_8k["cw_check_fixed"]
+        assert per_8k["cw_check_word"] > 10 * per_64["cw_check_word"]
+
+    def test_read_logging_records_per_operation(self, tmp_path):
+        per_op = run_workload(tmp_path, "read_logging")
+        # 3 record reads + 3 index probes (2 reads each) + allocator and
+        # index-internal reads: ~15-25 prescribed reads per operation.
+        assert 12 <= per_op["readlog_record"] <= 28
+
+    def test_checksummed_variant_adds_checksum_words(self, tmp_path):
+        plain = run_workload(tmp_path, "read_logging")
+        checksummed = run_workload(tmp_path, "cw_read_logging")
+        assert "checksum_word" not in plain
+        assert checksummed["checksum_word"] > 50
+        # Same number of read records either way.
+        assert checksummed["readlog_record"] == plain["readlog_record"]
+
+    def test_virtual_time_equals_sum_of_event_times(self, tmp_path):
+        db = build_tpcb_database(
+            DBConfig(dir=str(tmp_path / "sum"), scheme="data_cw"), TINY
+        )
+        load_tpcb(db, TINY)
+        db.meter.reset()
+        start = db.clock.now_ns
+        TPCBWorkload(db, TINY).run()
+        elapsed = db.clock.now_ns - start
+        accounted = sum(ns for _c, ns in db.meter.snapshot().values())
+        assert elapsed == accounted
+        db.close()

@@ -1,0 +1,97 @@
+"""Crashes at the nastiest moments: mid-checkpoint, mid-recovery."""
+
+import os
+
+import pytest
+
+from repro import Database, FaultInjector
+from tests.conftest import insert_accounts
+
+
+class TestCrashDuringCheckpoint:
+    def test_scribbled_non_anchored_image_is_harmless(self, db):
+        """A crash mid-write of the next ping-pong image must not matter:
+        the anchor still names the previous, intact image."""
+        slots = insert_accounts(db, 3)
+        db.checkpoint()  # anchor -> B (A was written by start())
+        anchor = db.checkpointer.read_anchor()
+        other = "A" if anchor["image"] == "B" else "B"
+        # Simulate a torn image write: trash the non-anchored image file.
+        path = db.path(f"ckpt_{other}.img")
+        with open(path, "r+b") as handle:
+            handle.write(b"\xde\xad" * 1000)
+        db.crash()
+        db2, report = Database.recover(db.config)
+        txn = db2.begin()
+        assert db2.table("acct").read(txn, slots[0])["balance"] == 100
+        db2.commit(txn)
+        db2.close()
+
+    def test_missing_meta_for_non_anchored_image_is_harmless(self, db):
+        insert_accounts(db, 2)
+        db.checkpoint()
+        anchor = db.checkpointer.read_anchor()
+        other = "A" if anchor["image"] == "B" else "B"
+        meta = db.path(f"ckpt_{other}.meta")
+        if os.path.exists(meta):
+            os.remove(meta)
+        db.crash()
+        db2, _ = Database.recover(db.config)
+        db2.close()
+
+
+class TestCrashDuringRecovery:
+    def test_crash_before_final_checkpoint_reruns_cleanly(self, db_factory):
+        """If recovery dies before its final checkpoint, a second recovery
+        from the unchanged inputs must reach the same state."""
+        db = db_factory(scheme="cw_read_logging")
+        slots = insert_accounts(db, 6)
+        db.checkpoint()
+        table = db.table("acct")
+        FaultInjector(db, seed=1).wild_write(table.record_address(slots[1]) + 8, 8)
+        txn = db.begin()
+        value = table.read(txn, slots[1])["balance"]
+        table.update(txn, slots[2], {"balance": value})
+        db.commit(txn)
+        report = db.audit()
+        db.crash_with_corruption(report)
+
+        # First recovery attempt "crashes" at the final checkpoint.
+        from repro.recovery.restart import RestartRecovery, load_corruption_note
+
+        shell = Database(db.config)
+        shell._load_catalog()
+        shell._build_layout()
+        shell._open_log_and_manager()
+        corruption = load_corruption_note(shell)
+        recovery = RestartRecovery(shell, corruption)
+
+        original_finish = recovery._finish
+
+        def dying_finish():
+            raise RuntimeError("simulated crash during recovery")
+
+        recovery._finish = dying_finish
+        with pytest.raises(RuntimeError):
+            recovery.run()
+        shell.system_log.crash()
+
+        # The corruption note is still there; a fresh recovery succeeds
+        # and produces the same delete decisions.
+        db2, report2 = Database.recover(db.config)
+        assert report2.mode == "delete-transaction-view"
+        txn = db2.begin()
+        assert db2.table("acct").read(txn, slots[2])["balance"] == 100
+        assert db2.table("acct").read(txn, slots[1])["balance"] == 100
+        db2.commit(txn)
+        assert db2.audit().clean
+        db2.close()
+
+    def test_recovery_without_anchor_fails_loudly(self, db):
+        insert_accounts(db, 1)
+        db.crash()
+        os.remove(db.path("cur_ckpt"))
+        from repro.errors import CheckpointError
+
+        with pytest.raises(CheckpointError):
+            Database.recover(db.config)

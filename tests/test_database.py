@@ -1,0 +1,121 @@
+"""Database facade: lifecycle, catalog, configuration errors."""
+
+import os
+
+import pytest
+
+from repro import Database, DBConfig, Field, FieldType, Schema
+from repro.errors import ConfigError, TransactionError
+
+from tests.conftest import ACCT_SCHEMA, insert_accounts
+
+
+class TestLifecycle:
+    def test_create_table_after_start_rejected(self, db):
+        with pytest.raises(ConfigError):
+            db.create_table("late", ACCT_SCHEMA, 10, key_field="id")
+
+    def test_duplicate_table_rejected(self, tmp_path):
+        db = Database(DBConfig(dir=str(tmp_path / "d")))
+        db.create_table("t", ACCT_SCHEMA, 10, key_field="id")
+        with pytest.raises(ConfigError):
+            db.create_table("t", ACCT_SCHEMA, 10, key_field="id")
+
+    def test_indexed_table_needs_key(self, tmp_path):
+        db = Database(DBConfig(dir=str(tmp_path / "d")))
+        with pytest.raises(ConfigError):
+            db.create_table("t", ACCT_SCHEMA, 10)
+
+    def test_unindexed_table_allowed(self, tmp_path):
+        db = Database(DBConfig(dir=str(tmp_path / "d")))
+        db.create_table("t", ACCT_SCHEMA, 10, indexed=False)
+        db.start()
+        txn = db.begin()
+        slot = db.table("t").insert(txn, {"id": 1})
+        assert db.table("t").read(txn, slot)["id"] == 1
+        with pytest.raises(ConfigError):
+            db.table("t").lookup(txn, 1)
+        db.commit(txn)
+        db.close()
+
+    def test_unknown_table_rejected(self, db):
+        with pytest.raises(ConfigError):
+            db.table("ghost")
+
+    def test_double_start_rejected(self, db):
+        with pytest.raises(ConfigError):
+            db.start()
+
+    def test_ops_after_crash_rejected(self, db):
+        db.crash()
+        with pytest.raises(TransactionError):
+            db.begin()
+
+    def test_start_writes_catalog_and_initial_checkpoint(self, db):
+        assert os.path.exists(db.path("catalog.json"))
+        assert os.path.exists(db.path("cur_ckpt"))
+        assert os.path.exists(db.path("ckpt_A.img"))
+
+
+class TestControlDataSeparation:
+    """Dali layout: allocation info never shares a page with tuple data."""
+
+    def test_segment_kinds(self, db):
+        kinds = {seg.name: seg.kind for seg in db.memory.segments}
+        assert kinds["acct.data"] == "data"
+        assert kinds["acct.ctl"] == "control"
+
+    def test_updates_touch_data_and_control_pages(self, db):
+        table = db.table("acct")
+        txn = db.begin()
+        table.insert(txn, {"id": 1, "balance": 1})
+        db.commit(txn)
+        data_seg = db.memory.segment("acct.data")
+        ctl_seg = db.memory.segment("acct.ctl")
+        dirty = db.memory.dirty_pages.pending_for("A")
+        page = db.memory.page_size
+        assert any(data_seg.base // page <= p < data_seg.end // page for p in dirty)
+        assert any(ctl_seg.base // page <= p < ctl_seg.end // page for p in dirty)
+
+
+class TestMultipleTables:
+    def test_two_tables_isolated(self, tmp_path):
+        other = Schema([Field("k", FieldType.INT64), Field("v", FieldType.CHAR, 8)])
+        db = Database(DBConfig(dir=str(tmp_path / "d")))
+        db.create_table("a", ACCT_SCHEMA, 50, key_field="id")
+        db.create_table("b", other, 50, key_field="k")
+        db.start()
+        txn = db.begin()
+        db.table("a").insert(txn, {"id": 1, "balance": 10})
+        db.table("b").insert(txn, {"k": 1, "v": "one"})
+        assert db.table("a").read(txn, 0)["balance"] == 10
+        assert db.table("b").read(txn, 0)["v"] == b"one"
+        db.commit(txn)
+        db.close()
+
+
+class TestStats:
+    def test_read_write_counters(self, db):
+        slots = insert_accounts(db, 2)
+        txn = db.begin()
+        db.table("acct").read(txn, slots[0])
+        db.commit(txn)
+        assert db.stats["writes"] >= 2
+        assert db.stats["reads"] >= 1
+
+    def test_history_recording_optional(self, db_factory):
+        db = db_factory(record_history=False)
+        assert db.history is None
+        insert_accounts(db, 1)  # must not crash without a recorder
+
+
+class TestRecoverErrors:
+    def test_recover_without_catalog_rejected(self, tmp_path):
+        with pytest.raises(ConfigError):
+            Database.recover(DBConfig(dir=str(tmp_path / "empty")))
+
+    def test_recover_page_size_mismatch_rejected(self, db):
+        db.crash()
+        bad = DBConfig(dir=db.config.dir, page_size=4096)
+        with pytest.raises(ConfigError):
+            Database.recover(bad)

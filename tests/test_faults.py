@@ -1,0 +1,85 @@
+"""Fault injector: the addressing-error model."""
+
+import pytest
+
+from repro import FaultInjector
+from repro.errors import ConfigError
+
+from tests.conftest import insert_accounts
+
+
+class TestWildWrite:
+    def test_changes_bytes_and_records_event(self, db):
+        insert_accounts(db, 3)
+        injector = FaultInjector(db, seed=1)
+        event = injector.wild_write()
+        assert event.old != event.new
+        assert db.memory.read(event.address, event.length) == event.new
+        assert injector.events == [event]
+
+    def test_explicit_target(self, db):
+        insert_accounts(db, 1)
+        address = db.table("acct").record_address(0)
+        event = injector = FaultInjector(db, seed=1).wild_write(address, 4)
+        assert event.address == address
+
+    def test_explicit_data(self, db):
+        insert_accounts(db, 1)
+        event = FaultInjector(db).wild_write(0, data=b"\xca\xfe")
+        assert event.new == b"\xca\xfe"
+        assert db.memory.read(0, 2) == b"\xca\xfe"
+
+    def test_bypasses_dirty_tracking(self, db):
+        insert_accounts(db, 1)
+        db.checkpoint()
+        db.checkpoint()  # drain both pending sets
+        FaultInjector(db, seed=2).wild_write()
+        # No page became dirty: the checkpointer will not write the
+        # corruption out -- which is why certification audits everything.
+        assert db.memory.dirty_pages.pending_for("A") == frozenset()
+
+    def test_deterministic_with_seed(self, db_factory):
+        events = []
+        for _ in range(2):
+            db = db_factory()
+            insert_accounts(db, 5)
+            events.append(FaultInjector(db, seed=99).wild_write())
+        assert events[0].address == events[1].address
+        assert events[0].new == events[1].new
+
+
+class TestBitFlip:
+    def test_flips_exactly_one_bit(self, db):
+        insert_accounts(db, 1)
+        event = FaultInjector(db, seed=1).bit_flip(address=8)
+        diff = event.old[0] ^ event.new[0]
+        assert diff != 0 and diff & (diff - 1) == 0  # power of two
+
+
+class TestCopyOverrun:
+    def test_clobbers_bytes_past_record_end(self, db):
+        slots = insert_accounts(db, 2)
+        table = db.table("acct")
+        record0 = db.memory.read(table.record_address(slots[0]), 32)
+        event = FaultInjector(db, seed=1).copy_overrun("acct", slots[0], overrun=8)
+        assert event.address == table.record_address(slots[0]) + 32
+        # record 0 itself untouched; record 1's head clobbered
+        assert db.memory.read(table.record_address(slots[0]), 32) == record0
+
+    def test_zero_overrun_rejected(self, db):
+        insert_accounts(db, 1)
+        with pytest.raises(ConfigError):
+            FaultInjector(db).copy_overrun("acct", 0, overrun=0)
+
+    def test_detected_by_audit(self, db_factory):
+        db = db_factory(scheme="data_cw")
+        slots = insert_accounts(db, 3)
+        FaultInjector(db, seed=1).copy_overrun("acct", slots[0])
+        assert not db.audit().clean
+
+
+class TestCorruptRecord:
+    def test_overwrites_whole_record(self, db):
+        slots = insert_accounts(db, 1)
+        event = FaultInjector(db, seed=1).corrupt_record("acct", slots[0])
+        assert event.length == db.table("acct").schema.record_size

@@ -1,0 +1,119 @@
+"""The delete-history correctness oracles themselves."""
+
+from repro.recovery.history import (
+    HistoryRecorder,
+    check_conflict_consistent,
+    check_view_consistent,
+    expected_final_state,
+)
+
+
+def make_history(events, committed, aborted=()):
+    """events: (txn, kind, item, value) tuples."""
+    history = HistoryRecorder()
+    for txn, kind, item, value in events:
+        if kind == "r":
+            history.on_read(txn, "t", item, value)
+        else:
+            history.on_write(txn, "t", item, value)
+    for txn in committed:
+        history.on_commit(txn)
+    for txn in aborted:
+        history.on_abort(txn)
+    return history
+
+
+class TestConflictConsistency:
+    def test_clean_history_passes_empty_delete_set(self):
+        history = make_history(
+            [(1, "w", 0, b"a"), (2, "r", 0, b"a")], committed={1, 2}
+        )
+        assert check_conflict_consistent(history, set()) == []
+
+    def test_read_from_deleted_writer_flagged(self):
+        history = make_history(
+            [(1, "w", 0, b"a"), (2, "r", 0, b"a")], committed={1, 2}
+        )
+        violations = check_conflict_consistent(history, {1})
+        assert len(violations) == 1
+        assert "txn 2" in violations[0]
+
+    def test_deleting_both_is_consistent(self):
+        history = make_history(
+            [(1, "w", 0, b"a"), (2, "r", 0, b"a")], committed={1, 2}
+        )
+        assert check_conflict_consistent(history, {1, 2}) == []
+
+    def test_read_of_own_write_ok_even_if_deleted_txn_wrote_before(self):
+        history = make_history(
+            [(1, "w", 0, b"a"), (2, "w", 0, b"b"), (2, "r", 0, b"b")],
+            committed={1, 2},
+        )
+        assert check_conflict_consistent(history, {1}) == []
+
+    def test_aborted_txn_writes_ignored(self):
+        history = make_history(
+            [(1, "w", 0, b"a"), (3, "w", 0, b"x"), (2, "r", 0, b"a")],
+            committed={1, 2},
+            aborted={3},
+        )
+        assert check_conflict_consistent(history, set()) == []
+
+    def test_intervening_surviving_write_heals(self):
+        history = make_history(
+            [(1, "w", 0, b"a"), (3, "w", 0, b"c"), (2, "r", 0, b"c")],
+            committed={1, 2, 3},
+        )
+        assert check_conflict_consistent(history, {1}) == []
+
+
+class TestViewConsistency:
+    def test_value_match_passes(self):
+        history = make_history(
+            [(1, "w", 0, b"a"), (2, "r", 0, b"a")], committed={1, 2}
+        )
+        assert check_view_consistent(history, set()) == []
+
+    def test_deleted_writer_same_value_passes(self):
+        """View-consistency keeps the reader if the value is unchanged."""
+        history = make_history(
+            [(1, "w", 0, b"a"), (3, "w", 0, b"a"), (2, "r", 0, b"a")],
+            committed={1, 2, 3},
+        )
+        # Delete txn 3: the delete history still holds b"a" from txn 1.
+        assert check_view_consistent(history, {3}) == []
+
+    def test_deleted_writer_different_value_flagged(self):
+        history = make_history(
+            [(1, "w", 0, b"a"), (3, "w", 0, b"c"), (2, "r", 0, b"c")],
+            committed={1, 2, 3},
+        )
+        violations = check_view_consistent(history, {3})
+        assert len(violations) == 1
+
+    def test_reads_by_deleted_txns_ignored(self):
+        history = make_history(
+            [(1, "w", 0, b"a"), (2, "r", 0, b"garbage")], committed={1, 2}
+        )
+        assert check_view_consistent(history, {2}) == []
+
+
+class TestExpectedFinalState:
+    def test_last_surviving_write_wins(self):
+        history = make_history(
+            [(1, "w", 0, b"a"), (2, "w", 0, b"b"), (3, "w", 1, b"z")],
+            committed={1, 2, 3},
+        )
+        state = expected_final_state(history, deleted={2})
+        assert state[("t", 0)] == b"a"
+        assert state[("t", 1)] == b"z"
+
+    def test_delete_event_yields_none(self):
+        history = make_history(
+            [(1, "w", 0, b"a"), (2, "w", 0, None)], committed={1, 2}
+        )
+        assert expected_final_state(history, set())[("t", 0)] is None
+
+    def test_uncommitted_writes_excluded(self):
+        history = make_history([(1, "w", 0, b"a")], committed=set())
+        assert expected_final_state(history, set()) == {}

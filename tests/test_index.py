@@ -1,0 +1,129 @@
+"""In-image hash index: chains, free list, capacity, persistence of state."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import OutOfSpaceError
+from repro.mem.memory import MemoryImage
+from repro.storage.index import HashIndex
+
+
+class RawAccessor:
+    def __init__(self, memory: MemoryImage) -> None:
+        self.memory = memory
+
+    def read(self, address: int, length: int) -> bytes:
+        return self.memory.read(address, length)
+
+    def update(self, address: int, new_bytes: bytes) -> None:
+        self.memory.write(address, new_bytes)
+
+
+def make_index(buckets=8, capacity=64):
+    memory = MemoryImage(page_size=4096)
+    seg = memory.add_segment("idx", HashIndex.size_for(buckets, capacity))
+    index = HashIndex(seg.base, buckets, capacity)
+    ctx = RawAccessor(memory)
+    index.format(ctx)
+    return index, ctx
+
+
+class TestBasics:
+    def test_lookup_missing_returns_none(self):
+        index, ctx = make_index()
+        assert index.lookup(ctx, 42) is None
+
+    def test_insert_lookup(self):
+        index, ctx = make_index()
+        index.insert(ctx, 42, 7)
+        assert index.lookup(ctx, 42) == 7
+
+    def test_many_keys_force_collisions(self):
+        index, ctx = make_index(buckets=4, capacity=64)
+        for key in range(50):
+            index.insert(ctx, key, key * 2)
+        for key in range(50):
+            assert index.lookup(ctx, key) == key * 2
+
+    def test_negative_keys(self):
+        index, ctx = make_index()
+        index.insert(ctx, -12345, 3)
+        assert index.lookup(ctx, -12345) == 3
+
+    def test_delete(self):
+        index, ctx = make_index()
+        index.insert(ctx, 1, 10)
+        index.insert(ctx, 2, 20)
+        assert index.delete(ctx, 1)
+        assert index.lookup(ctx, 1) is None
+        assert index.lookup(ctx, 2) == 20
+
+    def test_delete_missing_returns_false(self):
+        index, ctx = make_index()
+        assert not index.delete(ctx, 99)
+
+    def test_delete_middle_of_chain(self):
+        index, ctx = make_index(buckets=1)  # everything chains in bucket 0
+        for key in (1, 2, 3):
+            index.insert(ctx, key, key)
+        assert index.delete(ctx, 2)
+        assert index.lookup(ctx, 1) == 1
+        assert index.lookup(ctx, 2) is None
+        assert index.lookup(ctx, 3) == 3
+
+
+class TestFreeList:
+    def test_entries_reused_after_delete(self):
+        index, ctx = make_index(capacity=2)
+        index.insert(ctx, 1, 1)
+        index.insert(ctx, 2, 2)
+        index.delete(ctx, 1)
+        index.insert(ctx, 3, 3)  # must reuse entry 0
+        assert index.lookup(ctx, 3) == 3
+
+    def test_capacity_exhaustion(self):
+        index, ctx = make_index(capacity=4)
+        for key in range(4):
+            index.insert(ctx, key, key)
+        with pytest.raises(OutOfSpaceError):
+            index.insert(ctx, 5, 5)
+
+    def test_delete_then_fill_to_capacity(self):
+        index, ctx = make_index(capacity=4)
+        for key in range(4):
+            index.insert(ctx, key, key)
+        for key in range(4):
+            index.delete(ctx, key)
+        for key in range(10, 14):
+            index.insert(ctx, key, key)
+        for key in range(10, 14):
+            assert index.lookup(ctx, key) == key
+
+
+class TestProperty:
+    @settings(max_examples=30, deadline=None)
+    @given(
+        st.lists(
+            st.tuples(
+                st.sampled_from(["insert", "delete"]),
+                st.integers(min_value=-50, max_value=50),
+            ),
+            max_size=80,
+        )
+    )
+    def test_matches_dict_model(self, operations):
+        """The index behaves like a Python dict under insert/delete."""
+        index, ctx = make_index(buckets=4, capacity=200)
+        model: dict[int, int] = {}
+        for op, key in operations:
+            if op == "insert":
+                if key in model:
+                    continue  # the index is a primary-key map: no dup keys
+                model[key] = abs(key)
+                index.insert(ctx, key, abs(key))
+            else:
+                existed = index.delete(ctx, key)
+                assert existed == (key in model)
+                model.pop(key, None)
+        for key in range(-50, 51):
+            assert index.lookup(ctx, key) == model.get(key)

@@ -1,0 +1,145 @@
+"""Latches: modes, reentrancy, upgrades, cross-thread blocking."""
+
+import threading
+import time
+
+import pytest
+
+from repro.errors import LatchError
+from repro.txn.latches import EXCLUSIVE, Latch, LatchTable, SHARED
+
+
+class TestSingleThread:
+    def test_exclusive_acquire_release(self):
+        latch = Latch("t")
+        latch.acquire(EXCLUSIVE)
+        assert latch.held_exclusive()
+        latch.release()
+        assert not latch.held()
+
+    def test_shared_acquire_release(self):
+        latch = Latch("t")
+        latch.acquire(SHARED)
+        assert latch.held() and not latch.held_exclusive()
+        latch.release()
+
+    def test_reentrant_exclusive(self):
+        latch = Latch("t")
+        latch.acquire(EXCLUSIVE)
+        latch.acquire(EXCLUSIVE)
+        latch.release()
+        assert latch.held_exclusive()
+        latch.release()
+        assert not latch.held()
+
+    def test_exclusive_owner_may_nest_shared(self):
+        latch = Latch("t")
+        latch.acquire(EXCLUSIVE)
+        latch.acquire(SHARED)  # folded into exclusive depth
+        latch.release()
+        latch.release()
+        assert not latch.held()
+
+    def test_upgrade_as_sole_shared_holder(self):
+        latch = Latch("t")
+        latch.acquire(SHARED)
+        latch.acquire(EXCLUSIVE)
+        assert latch.held_exclusive()
+        latch.release()
+        latch.release()
+        assert not latch.held()
+
+    def test_release_without_hold_raises(self):
+        with pytest.raises(LatchError):
+            Latch("t").release()
+
+    def test_bad_mode_rejected(self):
+        with pytest.raises(LatchError):
+            Latch("t").acquire("Z")
+
+    def test_context_managers(self):
+        latch = Latch("t")
+        with latch.exclusive():
+            assert latch.held_exclusive()
+        with latch.shared():
+            assert latch.held()
+        assert not latch.held()
+
+    def test_acquire_count(self):
+        latch = Latch("t")
+        with latch.shared():
+            pass
+        with latch.exclusive():
+            pass
+        assert latch.acquire_count == 2
+
+
+class TestCrossThread:
+    def _acquire_in_thread(self, latch: Latch, mode: str, timeout=0.2):
+        """Try to acquire in another thread; returns success flag."""
+        result = {}
+
+        def worker():
+            try:
+                latch.acquire(mode, timeout=timeout)
+                result["ok"] = True
+                latch.release()
+            except LatchError:
+                result["ok"] = False
+
+        thread = threading.Thread(target=worker)
+        thread.start()
+        thread.join()
+        return result["ok"]
+
+    def test_shared_holders_coexist(self):
+        latch = Latch("t")
+        latch.acquire(SHARED)
+        assert self._acquire_in_thread(latch, SHARED)
+        latch.release()
+
+    def test_exclusive_blocks_other_threads(self):
+        latch = Latch("t")
+        latch.acquire(EXCLUSIVE)
+        assert not self._acquire_in_thread(latch, SHARED)
+        assert not self._acquire_in_thread(latch, EXCLUSIVE)
+        latch.release()
+
+    def test_shared_blocks_foreign_exclusive(self):
+        latch = Latch("t")
+        latch.acquire(SHARED)
+        assert not self._acquire_in_thread(latch, EXCLUSIVE)
+        latch.release()
+
+    def test_waiter_wakes_on_release(self):
+        latch = Latch("t")
+        latch.acquire(EXCLUSIVE)
+        acquired = threading.Event()
+
+        def worker():
+            latch.acquire(EXCLUSIVE, timeout=5.0)
+            acquired.set()
+            latch.release()
+
+        thread = threading.Thread(target=worker)
+        thread.start()
+        time.sleep(0.05)
+        assert not acquired.is_set()
+        latch.release()
+        thread.join(timeout=5.0)
+        assert acquired.is_set()
+
+
+class TestLatchTable:
+    def test_same_key_same_latch(self):
+        table = LatchTable("protection")
+        assert table.latch(3) is table.latch(3)
+
+    def test_different_keys_different_latches(self):
+        table = LatchTable("protection")
+        assert table.latch(1) is not table.latch(2)
+        assert len(table) == 2
+
+    def test_latch_names_carry_prefix(self):
+        table = LatchTable("codeword")
+        assert "codeword[5]" in repr(table.latch(5))

@@ -1,0 +1,101 @@
+"""Logical lock manager: modes, durations, conflicts."""
+
+import pytest
+
+from repro.errors import LockError
+from repro.txn.locks import LockManager, LockMode
+
+S = LockMode.SHARED
+X = LockMode.EXCLUSIVE
+
+
+class TestCompatibility:
+    def test_shared_shared_compatible(self):
+        locks = LockManager()
+        locks.acquire(1, "a", S)
+        locks.acquire(2, "a", S)
+        assert locks.holds(1, "a") and locks.holds(2, "a")
+
+    def test_shared_exclusive_conflict(self):
+        locks = LockManager()
+        locks.acquire(1, "a", S)
+        with pytest.raises(LockError):
+            locks.acquire(2, "a", X)
+
+    def test_exclusive_exclusive_conflict(self):
+        locks = LockManager()
+        locks.acquire(1, "a", X)
+        with pytest.raises(LockError):
+            locks.acquire(2, "a", X)
+
+    def test_exclusive_shared_conflict(self):
+        locks = LockManager()
+        locks.acquire(1, "a", X)
+        with pytest.raises(LockError):
+            locks.acquire(2, "a", S)
+
+    def test_different_keys_never_conflict(self):
+        locks = LockManager()
+        locks.acquire(1, "a", X)
+        locks.acquire(2, "b", X)
+
+    def test_reacquire_same_txn_ok(self):
+        locks = LockManager()
+        locks.acquire(1, "a", X)
+        locks.acquire(1, "a", X)
+        locks.acquire(1, "a", S)
+
+    def test_upgrade_same_txn(self):
+        locks = LockManager()
+        locks.acquire(1, "a", S)
+        locks.acquire(1, "a", X)
+        assert locks.holds(1, "a", X)
+
+    def test_would_conflict(self):
+        locks = LockManager()
+        locks.acquire(1, "a", X)
+        assert locks.would_conflict(2, "a", S)
+        assert not locks.would_conflict(1, "a", X)
+        assert not locks.would_conflict(2, "b", X)
+
+
+class TestDurations:
+    def test_op_locks_released_at_operation_end(self):
+        locks = LockManager()
+        locks.acquire(1, "alloc", X, duration="op", op_id=10)
+        locks.acquire(1, "rec", X, duration="txn")
+        locks.release_operation(1, 10)
+        assert not locks.holds(1, "alloc")
+        assert locks.holds(1, "rec")
+
+    def test_op_lock_escalates_to_txn_duration(self):
+        locks = LockManager()
+        locks.acquire(1, "k", X, duration="op", op_id=10)
+        locks.acquire(1, "k", X, duration="txn")
+        locks.release_operation(1, 10)
+        assert locks.holds(1, "k")
+
+    def test_release_all(self):
+        locks = LockManager()
+        locks.acquire(1, "a", X)
+        locks.acquire(1, "b", S)
+        locks.acquire(2, "b", S)
+        locks.release_all(1)
+        assert locks.locks_held(1) == []
+        assert locks.holds(2, "b")
+
+    def test_bad_duration_rejected(self):
+        with pytest.raises(LockError):
+            LockManager().acquire(1, "a", X, duration="forever")
+
+    def test_locks_held_listing(self):
+        locks = LockManager()
+        locks.acquire(1, "a", X)
+        locks.acquire(1, "b", S)
+        assert sorted(locks.locks_held(1)) == ["a", "b"]
+
+    def test_acquire_count(self):
+        locks = LockManager()
+        locks.acquire(1, "a", S)
+        locks.acquire(1, "a", S)
+        assert locks.acquire_count == 2

@@ -1,0 +1,284 @@
+"""Transaction manager: lifecycle, the prescribed interface, rollback."""
+
+import pytest
+
+from repro.errors import TransactionError
+from repro.txn.transaction import TxnStatus
+from repro.wal.records import (
+    LogicalUndo,
+    OpBeginRecord,
+    OpCommitRecord,
+    ReadRecord,
+    TxnBeginRecord,
+    TxnCommitRecord,
+    UpdateRecord,
+)
+
+from tests.conftest import insert_accounts
+
+
+def record_addr(db, slot=0):
+    return db.table("acct").record_address(slot)
+
+
+class TestTransactionLifecycle:
+    def test_begin_assigns_increasing_ids(self, db):
+        t1, t2 = db.begin(), db.begin()
+        assert t2.txn_id > t1.txn_id
+        db.commit(t1)
+        db.commit(t2)
+
+    def test_commit_sets_status_and_clears_att(self, db):
+        txn = db.begin()
+        db.commit(txn)
+        assert txn.status is TxnStatus.COMMITTED
+        assert txn.txn_id not in db.manager.att
+
+    def test_double_commit_rejected(self, db):
+        txn = db.begin()
+        db.commit(txn)
+        with pytest.raises(TransactionError):
+            db.commit(txn)
+
+    def test_commit_with_open_operation_rejected(self, db):
+        txn = db.begin()
+        db.manager.begin_operation(txn, "x")
+        with pytest.raises(TransactionError):
+            db.commit(txn)
+        db.manager.commit_operation(txn, LogicalUndo("noop"))
+        db.commit(txn)
+
+    def test_commit_flushes_log(self, db):
+        txn = db.begin()
+        db.commit(txn)
+        records = [r for _lsn, r in db.system_log.scan()]
+        assert any(isinstance(r, TxnCommitRecord) and r.txn_id == txn.txn_id for r in records)
+
+    def test_abort_sets_status(self, db):
+        txn = db.begin()
+        db.abort(txn)
+        assert txn.status is TxnStatus.ABORTED
+
+
+class TestPrescribedInterface:
+    def test_update_outside_operation_rejected(self, db):
+        txn = db.begin()
+        with pytest.raises(TransactionError):
+            db.manager.begin_update(txn, record_addr(db), 8)
+        db.abort(txn)
+
+    def test_write_outside_window_rejected(self, db):
+        txn = db.begin()
+        db.manager.begin_operation(txn, "x")
+        with pytest.raises(TransactionError):
+            db.manager.write(txn, record_addr(db), b"x")
+        db.manager.abort_operation(txn)
+        db.abort(txn)
+
+    def test_write_beyond_window_rejected(self, db):
+        txn = db.begin()
+        db.manager.begin_operation(txn, "x")
+        db.manager.begin_update(txn, record_addr(db), 4)
+        with pytest.raises(TransactionError):
+            db.manager.write(txn, record_addr(db), b"12345")
+        db.manager.end_update(txn)
+        db.manager.commit_operation(txn, LogicalUndo("noop"))
+        db.commit(txn)
+
+    def test_nested_windows_rejected(self, db):
+        txn = db.begin()
+        db.manager.begin_operation(txn, "x")
+        db.manager.begin_update(txn, record_addr(db), 4)
+        with pytest.raises(TransactionError):
+            db.manager.begin_update(txn, record_addr(db) + 8, 4)
+        db.manager.end_update(txn)
+        db.manager.commit_operation(txn, LogicalUndo("noop"))
+        db.commit(txn)
+
+    def test_end_update_without_begin_rejected(self, db):
+        txn = db.begin()
+        with pytest.raises(TransactionError):
+            db.manager.end_update(txn)
+        db.abort(txn)
+
+    def test_update_generates_undo_and_redo(self, db):
+        txn = db.begin()
+        db.manager.begin_operation(txn, "x")
+        address = record_addr(db)
+        db.manager.update(txn, address, b"ABCD")
+        assert len(txn.undo_log) == 1
+        undo = txn.undo_log.entries[0]
+        assert undo.image == b"\x00" * 4
+        assert undo.codeword_applied is True  # reset at end_update
+        redo = txn.redo_log.records[-1]
+        assert isinstance(redo, UpdateRecord) and redo.image == b"ABCD"
+        db.manager.commit_operation(txn, LogicalUndo("noop"))
+        db.commit(txn)
+
+    def test_codeword_applied_false_inside_window(self, db):
+        txn = db.begin()
+        db.manager.begin_operation(txn, "x")
+        db.manager.begin_update(txn, record_addr(db), 4)
+        assert txn.undo_log.entries[0].codeword_applied is False
+        db.manager.end_update(txn)
+        db.manager.commit_operation(txn, LogicalUndo("noop"))
+        db.commit(txn)
+
+
+class TestOperationMigration:
+    def test_records_migrate_at_op_commit(self, db):
+        txn = db.begin()
+        db.manager.begin_operation(txn, "obj:1")
+        db.manager.update(txn, record_addr(db), b"DATA")
+        assert len(db.system_log.tail) == 1  # just TxnBegin
+        db.manager.commit_operation(txn, LogicalUndo("noop"))
+        kinds = [type(r).__name__ for _l, r in db.system_log.tail]
+        assert kinds == [
+            "TxnBeginRecord",
+            "OpBeginRecord",
+            "UpdateRecord",
+            "OpCommitRecord",
+        ]
+        db.commit(txn)
+
+    def test_op_begin_carries_final_object_key(self, db):
+        txn = db.begin()
+        op = db.manager.begin_operation(txn, "tentative")
+        op.object_key = "final:7"
+        db.manager.commit_operation(txn, LogicalUndo("noop"))
+        db.commit(txn)
+        begins = [r for _l, r in db.system_log.scan() if isinstance(r, OpBeginRecord)]
+        assert begins[-1].object_key == "final:7"
+
+    def test_physical_undo_replaced_by_logical(self, db):
+        txn = db.begin()
+        db.manager.begin_operation(txn, "x")
+        db.manager.update(txn, record_addr(db), b"DATA")
+        db.manager.commit_operation(txn, LogicalUndo("undo_thing", ("a",)))
+        assert len(txn.undo_log) == 1
+        assert txn.undo_log.entries[0].undo.op_name == "undo_thing"
+        db.commit(txn)
+
+    def test_aborted_op_leaves_no_trace_in_system_log(self, db):
+        txn = db.begin()
+        db.manager.begin_operation(txn, "x")
+        db.manager.update(txn, record_addr(db), b"DATA")
+        db.manager.abort_operation(txn)
+        assert db.memory.read(record_addr(db), 4) == b"\x00" * 4
+        assert len(db.system_log.tail) == 1  # only TxnBegin
+        db.commit(txn)
+
+
+class TestNestedOperations:
+    def test_inner_commit_outer_abort(self, db):
+        """Committed inner op is compensated logically when outer aborts."""
+        table = db.table("acct")
+        txn = db.begin()
+        db.manager.begin_operation(txn, "outer")
+        slot = table.insert(txn, {"id": 50, "balance": 1})  # inner op commits
+        db.manager.abort_operation(txn)  # outer rolls back
+        db.commit(txn)
+        txn = db.begin()
+        assert table.lookup(txn, 50) is None
+        assert not table.allocator.is_allocated(table._ctx(txn), slot)
+        db.commit(txn)
+
+    def test_inner_abort_outer_commit(self, db):
+        table = db.table("acct")
+        txn = db.begin()
+        db.manager.begin_operation(txn, "outer")
+        db.manager.begin_operation(txn, "inner")
+        db.manager.update(txn, record_addr(db, 1), b"XX")
+        db.manager.abort_operation(txn)  # inner gone
+        db.manager.update(txn, record_addr(db, 2), b"YY")
+        db.manager.commit_operation(txn, LogicalUndo("noop"))
+        db.commit(txn)
+        assert db.memory.read(record_addr(db, 1), 2) == b"\x00\x00"
+        assert db.memory.read(record_addr(db, 2), 2) == b"YY"
+
+    def test_depth_tracks_nesting(self, db):
+        txn = db.begin()
+        db.manager.begin_operation(txn, "a")
+        db.manager.begin_operation(txn, "b")
+        assert txn.depth == 2
+        assert txn.current_op.object_key == "b"
+        db.manager.commit_operation(txn, LogicalUndo("noop"))
+        db.manager.commit_operation(txn, LogicalUndo("noop"))
+        db.commit(txn)
+
+
+class TestTransactionAbort:
+    def test_abort_undoes_committed_operations(self, db):
+        table = db.table("acct")
+        slots = insert_accounts(db, 3)
+        txn = db.begin()
+        table.update(txn, slots[0], {"balance": 999})
+        table.insert(txn, {"id": 77, "balance": 5})
+        db.abort(txn)
+        txn = db.begin()
+        assert table.read(txn, slots[0])["balance"] == 100
+        assert table.lookup(txn, 77) is None
+        db.commit(txn)
+
+    def test_abort_with_open_operation(self, db):
+        table = db.table("acct")
+        slots = insert_accounts(db, 1)
+        txn = db.begin()
+        db.manager.begin_operation(txn, "open")
+        db.manager.update(txn, record_addr(db, slots[0]), b"junk")
+        db.abort(txn)  # open op rolled back physically
+        txn = db.begin()
+        assert table.read(txn, slots[0])["id"] == 0
+        db.commit(txn)
+
+    def test_abort_with_open_update_window(self, db):
+        slots = insert_accounts(db, 1)
+        address = record_addr(db, slots[0])
+        txn = db.begin()
+        db.manager.begin_operation(txn, "w")
+        db.manager.begin_update(txn, address, 8)
+        db.manager.write(txn, address, b"\xff" * 8)
+        db.abort(txn)  # window rolled back without codeword damage
+        report = db.audit()
+        assert report.clean
+
+    def test_abort_releases_locks(self, db):
+        slots = insert_accounts(db, 1)
+        table = db.table("acct")
+        txn = db.begin()
+        table.update(txn, slots[0], {"balance": 1})
+        db.abort(txn)
+        txn2 = db.begin()
+        table.update(txn2, slots[0], {"balance": 2})  # no lock conflict
+        db.commit(txn2)
+
+    def test_abort_logs_abort_record(self, db):
+        txn = db.begin()
+        db.abort(txn)
+        records = [r for _l, r in db.system_log.scan()]
+        assert any(
+            type(r).__name__ == "TxnAbortRecord" and r.txn_id == txn.txn_id
+            for r in records
+        )
+
+
+class TestReadMigration:
+    def test_reads_inside_op_migrate_with_op(self, db_factory):
+        db = db_factory(scheme="read_logging")
+        slots = insert_accounts(db, 1)
+        table = db.table("acct")
+        txn = db.begin()
+        table.update(txn, slots[0], {"balance": 7})
+        db.commit(txn)
+        reads = [r for _l, r in db.system_log.scan() if isinstance(r, ReadRecord)]
+        assert any(r.txn_id == txn.txn_id for r in reads)
+
+    def test_reads_outside_op_migrate_at_txn_commit(self, db_factory):
+        db = db_factory(scheme="read_logging")
+        slots = insert_accounts(db, 1)
+        table = db.table("acct")
+        txn = db.begin()
+        table.read(txn, slots[0])  # read with no enclosing operation
+        db.commit(txn)
+        reads = [r for _l, r in db.system_log.scan() if isinstance(r, ReadRecord)]
+        assert any(r.txn_id == txn.txn_id for r in reads)

@@ -1,0 +1,113 @@
+"""Memory image: segments, flat addressing, write paths, dirty tracking."""
+
+import pytest
+
+from repro.errors import ConfigError, MemoryError_
+from repro.mem.memory import MemoryImage
+
+
+def image() -> MemoryImage:
+    mem = MemoryImage(page_size=4096)
+    mem.add_segment("data", 10_000, kind="data")
+    mem.add_segment("ctl", 100, kind="control")
+    return mem
+
+
+class TestLayout:
+    def test_segments_page_aligned_and_contiguous(self):
+        mem = image()
+        data, ctl = mem.segments
+        assert data.base == 0
+        assert data.size % mem.page_size == 0
+        assert ctl.base == data.end
+
+    def test_duplicate_segment_rejected(self):
+        mem = image()
+        with pytest.raises(ConfigError):
+            mem.add_segment("data", 100)
+
+    def test_bad_kind_rejected(self):
+        with pytest.raises(ConfigError):
+            MemoryImage().add_segment("x", 100, kind="weird")
+
+    def test_bad_page_size_rejected(self):
+        with pytest.raises(ConfigError):
+            MemoryImage(page_size=100)  # not a multiple of 8
+
+    def test_segment_lookup(self):
+        mem = image()
+        assert mem.segment("ctl").kind == "control"
+        with pytest.raises(MemoryError_):
+            mem.segment("nope")
+
+    def test_page_count(self):
+        mem = image()
+        assert mem.page_count * mem.page_size == mem.size
+
+
+class TestAccess:
+    def test_fresh_memory_is_zero(self):
+        assert image().read(0, 16) == b"\x00" * 16
+
+    def test_write_read_roundtrip(self):
+        mem = image()
+        mem.write(100, b"hello")
+        assert mem.read(100, 5) == b"hello"
+
+    def test_cross_segment_read_write(self):
+        mem = image()
+        boundary = mem.segment("ctl").base - 4
+        mem.write(boundary, b"12345678")
+        assert mem.read(boundary, 8) == b"12345678"
+
+    def test_out_of_bounds_rejected(self):
+        mem = image()
+        with pytest.raises(MemoryError_):
+            mem.read(mem.size - 2, 4)
+        with pytest.raises(MemoryError_):
+            mem.write(-1, b"x")
+
+    def test_negative_length_rejected(self):
+        with pytest.raises(MemoryError_):
+            image().read(0, -1)
+
+    def test_zero_length_read(self):
+        assert image().read(0, 0) == b""
+
+
+class TestDirtyTracking:
+    def test_write_marks_pages_dirty(self):
+        mem = image()
+        mem.write(mem.page_size - 2, b"abcd")  # spans pages 0 and 1
+        pending = mem.dirty_pages.pending_for("A")
+        assert {0, 1} <= pending
+
+    def test_poke_does_not_mark_dirty(self):
+        mem = image()
+        mem.poke(0, b"wild")
+        assert 0 not in mem.dirty_pages.pending_for("A")
+
+    def test_restore_marks_dirty(self):
+        mem = image()
+        mem.restore(0, b"recovered")
+        assert 0 in mem.dirty_pages.pending_for("A")
+
+
+class TestPageViews:
+    def test_page_bytes_and_load_page(self):
+        mem = image()
+        mem.write(0, b"front")
+        page = mem.page_bytes(0)
+        assert page.startswith(b"front")
+        mem.load_page(1, b"\xaa" * mem.page_size)
+        assert mem.read(mem.page_size, 2) == b"\xaa\xaa"
+
+    def test_load_page_wrong_size_rejected(self):
+        with pytest.raises(MemoryError_):
+            image().load_page(0, b"short")
+
+    def test_snapshot_segments_is_deep(self):
+        mem = image()
+        snap = mem.snapshot_segments()
+        mem.write(0, b"changed")
+        assert snap["data"][:7] == b"\x00" * 7

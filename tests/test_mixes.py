@@ -1,0 +1,59 @@
+"""The read/write-mix workload generator."""
+
+import pytest
+
+from repro import DBConfig
+from repro.bench.mixes import MixConfig, MixWorkload, build_mix_database, run_mix
+from repro.errors import WorkloadError
+
+TINY = MixConfig(rows=100, operations=60, ops_per_txn=20)
+
+
+class TestConfig:
+    def test_bad_fraction_rejected(self):
+        with pytest.raises(WorkloadError):
+            MixConfig(read_fraction=1.5)
+
+    def test_defaults(self):
+        mix = MixConfig()
+        assert 0.0 <= mix.read_fraction <= 1.0
+
+
+class TestWorkload:
+    def test_mix_respects_fraction_roughly(self, tmp_path):
+        mix = MixConfig(rows=100, operations=200, ops_per_txn=50, read_fraction=0.8)
+        db = build_mix_database(DBConfig(dir=str(tmp_path / "m")), mix)
+        workload = MixWorkload(db, mix)
+        workload.run()
+        assert workload.reads_done + workload.writes_done == 200
+        assert workload.reads_done > workload.writes_done * 2
+        db.close()
+
+    def test_all_reads_mutate_nothing(self, tmp_path):
+        mix = MixConfig(rows=50, operations=40, ops_per_txn=10, read_fraction=1.0)
+        db = build_mix_database(DBConfig(dir=str(tmp_path / "r")), mix)
+        before = {
+            slot: db.table("row").read_bytes(txn := db.begin(), slot)
+            for slot in range(5)
+        }
+        db.commit(txn)
+        MixWorkload(db, mix).run()
+        txn = db.begin()
+        for slot, expected in before.items():
+            assert db.table("row").read_bytes(txn, slot) == expected
+        db.commit(txn)
+        db.close()
+
+    def test_run_mix_reports_throughput_and_events(self, tmp_path):
+        ops_per_sec, events = run_mix(DBConfig(dir=str(tmp_path / "t")), TINY)
+        assert ops_per_sec > 0
+        assert events["base_operation"][0] == TINY.operations
+
+    def test_codewords_stay_consistent_under_mix(self, tmp_path):
+        mix = MixConfig(rows=100, operations=100, ops_per_txn=25, read_fraction=0.3)
+        db = build_mix_database(
+            DBConfig(dir=str(tmp_path / "c"), scheme="data_cw"), mix
+        )
+        MixWorkload(db, mix).run()
+        assert db.audit().clean
+        db.close()

@@ -1,0 +1,124 @@
+"""Simulated MMU: trap semantics and mprotect cost accounting."""
+
+import pytest
+
+from repro.errors import ConfigError, ProtectionFault
+from repro.mem.memory import MemoryImage
+from repro.mem.mprotect import (
+    MprotectCosts,
+    PROT_READ,
+    PROT_READWRITE,
+    SimulatedMMU,
+)
+from repro.sim.clock import Meter, VirtualClock
+from repro.sim.costs import DEFAULT_COSTS
+
+COSTS = MprotectCosts(syscall_fixed_ns=1000, per_page_ns=100)
+
+
+def make_mmu():
+    memory = MemoryImage(page_size=4096)
+    memory.add_segment("data", 10 * 4096)
+    clock = VirtualClock()
+    mmu = SimulatedMMU(memory, COSTS, Meter(clock, DEFAULT_COSTS))
+    return memory, mmu, clock
+
+
+class TestTrapSemantics:
+    def test_disabled_mmu_never_traps(self):
+        memory, mmu, _ = make_mmu()
+        mmu.mprotect(0, 4096, PROT_READ)
+        memory.write(0, b"ok")  # not enforcing yet
+
+    def test_protected_write_traps_and_is_not_performed(self):
+        memory, mmu, _ = make_mmu()
+        mmu.enable()
+        mmu.mprotect(0, 4096, PROT_READ)
+        with pytest.raises(ProtectionFault) as exc:
+            memory.write(10, b"nope")
+        assert exc.value.page_id == 0
+        assert memory.read(10, 4) == b"\x00" * 4
+
+    def test_poke_also_traps(self):
+        memory, mmu, _ = make_mmu()
+        mmu.enable()
+        mmu.mprotect(0, 4096, PROT_READ)
+        with pytest.raises(ProtectionFault):
+            memory.poke(5, b"wild")
+        assert mmu.trap_count == 1
+
+    def test_unprotect_allows_write(self):
+        memory, mmu, _ = make_mmu()
+        mmu.enable()
+        mmu.mprotect(0, 4096, PROT_READ)
+        mmu.mprotect(0, 4096, PROT_READWRITE)
+        memory.write(0, b"fine")
+        assert memory.read(0, 4) == b"fine"
+
+    def test_write_spanning_protected_page_traps(self):
+        memory, mmu, _ = make_mmu()
+        mmu.enable()
+        mmu.mprotect(4096, 4096, PROT_READ)  # page 1 only
+        with pytest.raises(ProtectionFault):
+            memory.write(4090, b"0123456789")  # spans pages 0-1
+
+    def test_restore_bypasses_mmu(self):
+        memory, mmu, _ = make_mmu()
+        mmu.enable()
+        mmu.mprotect(0, 4096, PROT_READ)
+        memory.restore(0, b"recovery")  # checkpoint load / redo path
+        assert memory.read(0, 8) == b"recovery"
+
+    def test_reads_never_trap(self):
+        memory, mmu, _ = make_mmu()
+        mmu.enable()
+        mmu.mprotect(0, 4096, PROT_READ)
+        assert memory.read(0, 8) == b"\x00" * 8
+
+
+class TestCosts:
+    def test_single_page_call_cost(self):
+        _, mmu, clock = make_mmu()
+        mmu.mprotect(0, 4096, PROT_READ)
+        assert clock.now_ns == COSTS.call_ns(1) == 1100
+
+    def test_multi_page_call_cost(self):
+        _, mmu, clock = make_mmu()
+        mmu.mprotect(0, 3 * 4096, PROT_READ)
+        assert clock.now_ns == COSTS.call_ns(3)
+
+    def test_cost_charged_even_if_bits_unchanged(self):
+        _, mmu, clock = make_mmu()
+        mmu.mprotect(0, 4096, PROT_READWRITE)  # already rw
+        assert clock.now_ns == COSTS.call_ns(1)
+
+    def test_call_count(self):
+        _, mmu, _ = make_mmu()
+        mmu.mprotect(0, 4096, PROT_READ)
+        mmu.mprotect(0, 4096, PROT_READWRITE)
+        assert mmu.call_count == 2
+
+
+class TestProtectPages:
+    def test_contiguous_run_is_one_syscall(self):
+        _, mmu, _ = make_mmu()
+        mmu.protect_pages(range(0, 5), PROT_READ)
+        assert mmu.call_count == 1
+        assert mmu.protected_page_count == 5
+
+    def test_disjoint_runs_are_separate_syscalls(self):
+        _, mmu, _ = make_mmu()
+        mmu.protect_pages([0, 1, 5, 6, 8], PROT_READ)
+        assert mmu.call_count == 3
+        assert mmu.protected_page_count == 5
+
+    def test_unknown_protection_rejected(self):
+        _, mmu, _ = make_mmu()
+        with pytest.raises(ConfigError):
+            mmu.mprotect(0, 4096, "rwx")
+
+    def test_is_protected(self):
+        _, mmu, _ = make_mmu()
+        mmu.mprotect(4096, 4096, PROT_READ)
+        assert mmu.is_protected(1)
+        assert not mmu.is_protected(0)

@@ -1,0 +1,77 @@
+"""Page geometry and the ping-pong dirty page table."""
+
+from hypothesis import given, strategies as st
+
+from repro.mem.pages import DirtyPageTable, page_range, page_span
+
+
+class TestPageRange:
+    def test_within_one_page(self):
+        assert list(page_range(10, 20, 4096)) == [0]
+
+    def test_spans_boundary(self):
+        assert list(page_range(4090, 10, 4096)) == [0, 1]
+
+    def test_exact_page(self):
+        assert list(page_range(4096, 4096, 4096)) == [1]
+
+    def test_zero_length_touches_one_page(self):
+        assert list(page_range(5000, 0, 4096)) == [1]
+
+    @given(
+        st.integers(min_value=0, max_value=1 << 24),
+        st.integers(min_value=1, max_value=1 << 16),
+    )
+    def test_span_covers_every_byte(self, address, length):
+        pages = set(page_range(address, length, 4096))
+        for byte in (address, address + length - 1, address + length // 2):
+            assert byte // 4096 in pages
+        assert page_span(address, length, 4096) == len(pages)
+
+
+class TestDirtyPageTable:
+    def test_dirty_pending_for_both_images(self):
+        dpt = DirtyPageTable()
+        dpt.note_dirty(7)
+        assert 7 in dpt.pending_for("A")
+        assert 7 in dpt.pending_for("B")
+
+    def test_clear_is_per_image(self):
+        """The ping-pong invariant: clearing A leaves the page pending for B."""
+        dpt = DirtyPageTable()
+        dpt.note_dirty(3)
+        dpt.clear_for("A", [3])
+        assert 3 not in dpt.pending_for("A")
+        assert 3 in dpt.pending_for("B")
+
+    def test_redirty_after_clear(self):
+        dpt = DirtyPageTable()
+        dpt.note_dirty(1)
+        dpt.clear_for("A", [1])
+        dpt.note_dirty(1)
+        assert 1 in dpt.pending_for("A")
+
+    def test_note_dirty_range(self):
+        dpt = DirtyPageTable()
+        dpt.note_dirty_range(4090, 10, 4096)
+        assert {0, 1} <= dpt.pending_for("A")
+
+    def test_mark_all_dirty(self):
+        dpt = DirtyPageTable()
+        dpt.mark_all_dirty(range(5))
+        assert dpt.pending_for("A") == frozenset(range(5))
+        assert dpt.pending_for("B") == frozenset(range(5))
+
+    def test_alternating_checkpoints_converge(self):
+        """Simulate two alternating checkpoints draining all dirt."""
+        dpt = DirtyPageTable()
+        dpt.note_dirty(0)
+        dpt.note_dirty(1)
+        pages_a = dpt.pending_for("A")
+        dpt.clear_for("A", pages_a)
+        dpt.note_dirty(2)  # new dirt between checkpoints
+        pages_b = dpt.pending_for("B")
+        assert pages_b == frozenset({0, 1, 2})
+        dpt.clear_for("B", pages_b)
+        assert dpt.pending_for("B") == frozenset()
+        assert dpt.pending_for("A") == frozenset({2})

@@ -1,0 +1,104 @@
+"""Prior-state recovery, and its contrast with the delete-transaction model."""
+
+import pytest
+
+from repro import Database, FaultInjector
+from repro.errors import RecoveryError
+from repro.recovery.prior_state import recover_prior_state
+
+from tests.conftest import insert_accounts
+
+
+def corrupted_run(db_factory, scheme="cw_read_logging"):
+    """Checkpoint, clean txn, wild write, carrier txn, clean txn, audit."""
+    db = db_factory(scheme=scheme)
+    slots = insert_accounts(db, 10)
+    db.checkpoint()
+    table = db.table("acct")
+    txn = db.begin()
+    table.update(txn, slots[0], {"balance": 111})
+    db.commit(txn)
+    pre_corruption_txn = txn.txn_id
+    FaultInjector(db, seed=1).wild_write(table.record_address(slots[1]) + 8, 8)
+    txn = db.begin()
+    value = table.read(txn, slots[1])["balance"]
+    table.update(txn, slots[2], {"balance": value})
+    db.commit(txn)
+    carrier_txn = txn.txn_id
+    txn = db.begin()
+    table.update(txn, slots[3], {"balance": 333})
+    db.commit(txn)
+    clean_txn = txn.txn_id
+    report = db.audit()
+    assert not report.clean
+    db.crash_with_corruption(report)
+    return db, slots, pre_corruption_txn, carrier_txn, clean_txn
+
+
+class TestPriorStateRecovery:
+    def test_everything_after_cutoff_lost(self, db_factory):
+        db, slots, pre, carrier, clean = corrupted_run(db_factory)
+        db2, report = recover_prior_state(db.config)
+        # The cutoff is the last clean audit, taken at the checkpoint --
+        # BEFORE the pre-corruption transaction, which is therefore lost
+        # too: the whole point of the paper's finer-grained model.
+        assert pre in report.lost_set
+        assert carrier in report.lost_set
+        assert clean in report.lost_set
+        txn = db2.begin()
+        table = db2.table("acct")
+        for i in range(4):
+            assert table.read(txn, slots[i])["balance"] == 100
+        db2.commit(txn)
+        assert db2.audit().clean
+        db2.close()
+
+    def test_prior_state_loses_superset_of_delete_transaction(self, db_factory):
+        """The quantitative contrast of Section 4.1."""
+        db, _slots, pre, carrier, clean = corrupted_run(db_factory)
+        _db_d, delete_report = Database.recover(db.config)
+        _db_d.close()
+
+        db2, _, pre2, carrier2, clean2 = corrupted_run(db_factory)
+        _db_p, prior_report = recover_prior_state(db2.config)
+        _db_p.close()
+
+        # Same scenario: delete-transaction deletes only the carrier;
+        # prior-state loses all three.
+        assert delete_report.deleted_set == {carrier}
+        assert prior_report.lost_set >= {pre2, carrier2, clean2}
+        assert len(prior_report.lost_set) > len(delete_report.deleted_set)
+
+    def test_recovered_database_usable(self, db_factory):
+        db, slots, *_ = corrupted_run(db_factory)
+        db2, _report = recover_prior_state(db.config)
+        txn = db2.begin()
+        db2.table("acct").update(txn, slots[0], {"balance": 5})
+        db2.commit(txn)
+        db2.checkpoint()
+        db2.close()
+
+    def test_requires_corruption_note(self, db_factory):
+        db = db_factory()
+        insert_accounts(db, 2)
+        db.crash()
+        with pytest.raises(RecoveryError):
+            recover_prior_state(db.config)
+
+    def test_open_transaction_at_checkpoint_rolled_back(self, db_factory):
+        db = db_factory(scheme="data_cw")
+        slots = insert_accounts(db, 5)
+        txn_open = db.begin()
+        db.table("acct").update(txn_open, slots[4], {"balance": 444})
+        db.checkpoint()  # open txn's undo goes into the checkpoint ATT
+        FaultInjector(db, seed=2).wild_write(
+            db.table("acct").record_address(slots[1]) + 8, 8
+        )
+        report = db.audit()
+        db.crash_with_corruption(report)
+        db2, _report = recover_prior_state(db.config)
+        txn = db2.begin()
+        assert db2.table("acct").read(txn, slots[4])["balance"] == 100
+        db2.commit(txn)
+        assert db2.audit().clean
+        db2.close()

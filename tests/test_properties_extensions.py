@@ -1,0 +1,143 @@
+"""Property-based tests for the extension subsystems.
+
+* archive equivalence -- recovering from an archive + amended log reaches
+  the same committed state as recovering from the latest checkpoint;
+* logical deletion -- deleting a random committed transaction leaves a
+  conflict-consistent delete history containing its full taint closure.
+"""
+
+from __future__ import annotations
+
+import shutil
+
+from hypothesis import HealthCheck, assume, given, settings, strategies as st
+
+from repro import Database, DBConfig, FaultInjector
+from repro.errors import RecoveryError
+from repro.recovery.archive import create_archive, recover_from_archive
+from repro.recovery.history import check_conflict_consistent
+from repro.recovery.logical import delete_transactions
+
+from tests.conftest import ACCT_SCHEMA
+
+SLOW = settings(
+    max_examples=10,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow, HealthCheck.function_scoped_fixture],
+)
+
+workload = st.lists(
+    st.tuples(
+        st.sampled_from(["write", "read_then_write", "wild"]),
+        st.integers(0, 14),
+        st.integers(0, 14),
+    ),
+    min_size=4,
+    max_size=12,
+)
+
+
+def fresh(tmp_path, sub, scheme, record_history=False):
+    path = tmp_path / sub
+    if path.exists():
+        shutil.rmtree(path)
+    config = DBConfig(dir=str(path), scheme=scheme, record_history=record_history)
+    db = Database(config)
+    db.create_table("acct", ACCT_SCHEMA, 60, key_field="id")
+    db.start()
+    table = db.table("acct")
+    txn = db.begin()
+    slots = {i: table.insert(txn, {"id": i, "balance": 100}) for i in range(15)}
+    db.commit(txn)
+    return db, slots
+
+
+def committed_state(db):
+    table = db.table("acct")
+    txn = db.begin()
+    state = {
+        slot: table.read_bytes(txn, slot) for slot in table.scan_slots(txn)
+    }
+    db.commit(txn)
+    return state
+
+
+def run_ops(db, slots, script, injector):
+    table = db.table("acct")
+    txn_ids = []
+    for kind, a, b in script:
+        if kind == "wild":
+            injector.wild_write(table.record_address(slots[a]) + 8, 8)
+            continue
+        txn = db.begin()
+        if kind == "write":
+            table.update(txn, slots[b], {"balance": a * 13 + 1})
+        else:
+            value = table.read(txn, slots[a])["balance"]
+            table.update(txn, slots[b], {"balance": value + 1})
+        db.commit(txn)
+        txn_ids.append(txn.txn_id)
+    return txn_ids
+
+
+class TestArchiveEquivalence:
+    @SLOW
+    @given(script=workload, archive_at=st.integers(0, 3))
+    def test_archive_replay_reaches_direct_recovery_state(
+        self, tmp_path, script, archive_at
+    ):
+        db, slots = fresh(tmp_path, "arch", "cw_read_logging")
+        try:
+            injector = FaultInjector(db, seed=11)
+            info = None
+            try:
+                for i, step in enumerate(script):
+                    if i == archive_at:
+                        info = create_archive(db, db.path("archive"))
+                    run_ops(db, slots, [step], injector)
+                if info is None:
+                    info = create_archive(db, db.path("archive"))
+            except RecoveryError:
+                # The archive point landed after an injected wild write:
+                # certification correctly refuses to archive a corrupt
+                # image.  Vacuous case for this property.
+                assume(False)
+            report = db.audit()
+            if report.clean:
+                db.crash()
+            else:
+                db.crash_with_corruption(report)
+            db_direct, _ = Database.recover(db.config)
+            direct_state = committed_state(db_direct)
+            db_direct.crash()
+            db_archive, _ = recover_from_archive(db_direct.config, info.path)
+            assert committed_state(db_archive) == direct_state
+            assert db_archive.audit().clean
+            db_archive.close()
+        finally:
+            db.close()
+
+
+class TestLogicalDeletionProperties:
+    @SLOW
+    @given(script=workload, victim_index=st.integers(0, 11))
+    def test_delete_history_is_conflict_consistent(
+        self, tmp_path, script, victim_index
+    ):
+        script = [s for s in script if s[0] != "wild"]  # logical-only run
+        if not script:
+            script = [("write", 1, 1)]
+        db, slots = fresh(tmp_path, "logic", "read_logging", record_history=True)
+        try:
+            injector = FaultInjector(db, seed=1)
+            txn_ids = run_ops(db, slots, script, injector)
+            victim = txn_ids[victim_index % len(txn_ids)]
+            history = db.history
+            db.crash()
+            db2, report = delete_transactions(db.config, [victim])
+            assert victim in report.deleted_set
+            assert check_conflict_consistent(history, report.deleted_set) == []
+            assert db2.audit().clean
+            db2.close()
+        finally:
+            db.close()

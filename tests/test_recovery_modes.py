@@ -1,0 +1,107 @@
+"""Recovery mode selection per scheme and corruption state."""
+
+from repro import Database, FaultInjector
+
+from tests.conftest import insert_accounts
+
+
+def crash_with_corruption(db, slot=1):
+    table = db.table("acct")
+    FaultInjector(db, seed=1).wild_write(table.record_address(slot) + 8, 8)
+    report = db.audit()
+    assert not report.clean
+    db.crash_with_corruption(report)
+
+
+class TestModeSelection:
+    def test_plain_crash_baseline_is_normal(self, db):
+        insert_accounts(db, 2)
+        db.crash()
+        _db2, report = Database.recover(db.config)
+        assert report.mode == "normal"
+
+    def test_plain_crash_data_cw_is_normal(self, db_factory):
+        db = db_factory(scheme="data_cw")
+        insert_accounts(db, 2)
+        db.crash()
+        _db2, report = Database.recover(db.config)
+        assert report.mode == "normal"
+
+    def test_plain_crash_with_checksums_runs_view_recovery(self, db_factory):
+        """Section 4.3: with codewords in read records, corruption recovery
+        should run on every restart."""
+        db = db_factory(scheme="cw_read_logging")
+        insert_accounts(db, 2)
+        db.crash()
+        _db2, report = Database.recover(db.config)
+        assert report.mode == "delete-transaction-view"
+
+    def test_noted_corruption_with_read_logging(self, db_factory):
+        db = db_factory(scheme="read_logging")
+        insert_accounts(db, 5)
+        db.checkpoint()
+        crash_with_corruption(db)
+        _db2, report = Database.recover(db.config)
+        assert report.mode == "delete-transaction"
+
+    def test_noted_corruption_without_read_logging_is_writes_only(self, db_factory):
+        """Detection-only schemes get the weaker writes-only tracing and
+        the mode says so."""
+        db = db_factory(scheme="data_cw")
+        insert_accounts(db, 5)
+        db.checkpoint()
+        crash_with_corruption(db)
+        db2, report = Database.recover(db.config)
+        assert report.mode == "delete-transaction-writes-only"
+        # Direct corruption is still gone (it was never in the log).
+        assert db2.audit().clean
+        txn = db2.begin()
+        assert db2.table("acct").read(txn, 1)["balance"] == 100
+        db2.commit(txn)
+        db2.close()
+
+    def test_writes_only_mode_misses_read_carried_corruption(self, db_factory):
+        """The documented limitation: without read records, a transaction
+        that read corrupt data and wrote elsewhere survives -- exactly why
+        the paper pays 17% for read logging.  Regions are kept small so
+        the carrier's write does not overlap the corrupt region (at large
+        regions the conservative write-overlap rule would catch it)."""
+        db = db_factory(scheme="data_cw", region_size=32)
+        slots = insert_accounts(db, 5)
+        db.checkpoint()
+        table = db.table("acct")
+        FaultInjector(db, seed=1).wild_write(table.record_address(slots[1]) + 8, 8)
+        txn = db.begin()
+        bogus = table.read(txn, slots[1])["balance"]  # NOT logged
+        table.update(txn, slots[2], {"balance": bogus})
+        db.commit(txn)
+        carrier = txn.txn_id
+        report = db.audit()
+        db.crash_with_corruption(report)
+        db2, recovery = Database.recover(db.config)
+        # The carrier is NOT deleted and the carried value survives.
+        assert carrier not in recovery.deleted_set
+        txn = db2.begin()
+        assert db2.table("acct").read(txn, slots[2])["balance"] == bogus
+        db2.commit(txn)
+        db2.close()
+
+    def test_read_logging_catches_the_same_scenario(self, db_factory):
+        db = db_factory(scheme="read_logging", region_size=32)
+        slots = insert_accounts(db, 5)
+        db.checkpoint()
+        table = db.table("acct")
+        FaultInjector(db, seed=1).wild_write(table.record_address(slots[1]) + 8, 8)
+        txn = db.begin()
+        bogus = table.read(txn, slots[1])["balance"]  # logged this time
+        table.update(txn, slots[2], {"balance": bogus})
+        db.commit(txn)
+        carrier = txn.txn_id
+        report = db.audit()
+        db.crash_with_corruption(report)
+        db2, recovery = Database.recover(db.config)
+        assert carrier in recovery.deleted_set
+        txn = db2.begin()
+        assert db2.table("acct").read(txn, slots[2])["balance"] == 100
+        db2.commit(txn)
+        db2.close()

@@ -1,0 +1,103 @@
+"""Record schemas: layout, codec, validation."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import ConfigError
+from repro.storage.schema import Field, FieldType, Schema
+
+SCHEMA = Schema(
+    [
+        Field("id", FieldType.INT64),
+        Field("count", FieldType.UINT32),
+        Field("ratio", FieldType.FLOAT64),
+        Field("label", FieldType.CHAR, 12),
+    ]
+)
+
+
+class TestLayout:
+    def test_record_size(self):
+        assert SCHEMA.record_size == 8 + 4 + 8 + 12
+
+    def test_offsets_are_sequential(self):
+        assert SCHEMA.offset_of("id") == 0
+        assert SCHEMA.offset_of("count") == 8
+        assert SCHEMA.offset_of("ratio") == 12
+        assert SCHEMA.offset_of("label") == 20
+
+    def test_field_range(self):
+        assert SCHEMA.field_range("count") == (8, 4)
+
+    def test_duplicate_names_rejected(self):
+        with pytest.raises(ConfigError):
+            Schema([Field("a", FieldType.INT64), Field("a", FieldType.INT64)])
+
+    def test_empty_schema_rejected(self):
+        with pytest.raises(ConfigError):
+            Schema([])
+
+    def test_char_needs_size(self):
+        with pytest.raises(ConfigError):
+            Field("x", FieldType.CHAR)
+
+    def test_size_only_for_char(self):
+        with pytest.raises(ConfigError):
+            Field("x", FieldType.INT64, 8)
+
+    def test_unknown_field_rejected(self):
+        with pytest.raises(ConfigError):
+            SCHEMA.offset_of("nope")
+
+
+class TestCodec:
+    def test_roundtrip(self):
+        values = {"id": -5, "count": 42, "ratio": 2.5, "label": "hello"}
+        decoded = SCHEMA.decode(SCHEMA.encode(values))
+        assert decoded["id"] == -5
+        assert decoded["count"] == 42
+        assert decoded["ratio"] == 2.5
+        assert decoded["label"] == b"hello"
+
+    def test_missing_fields_default_to_zero(self):
+        decoded = SCHEMA.decode(SCHEMA.encode({"id": 1}))
+        assert decoded["count"] == 0
+        assert decoded["label"] == b""
+
+    def test_unknown_field_in_encode_rejected(self):
+        with pytest.raises(ConfigError):
+            SCHEMA.encode({"bogus": 1})
+
+    def test_char_overflow_rejected(self):
+        with pytest.raises(ConfigError):
+            SCHEMA.encode({"label": "x" * 13})
+
+    def test_char_accepts_bytes(self):
+        decoded = SCHEMA.decode(SCHEMA.encode({"label": b"raw"}))
+        assert decoded["label"] == b"raw"
+
+    def test_decode_wrong_size_rejected(self):
+        with pytest.raises(ConfigError):
+            SCHEMA.decode(b"short")
+
+    @given(
+        st.integers(min_value=-(2**63), max_value=2**63 - 1),
+        st.integers(min_value=0, max_value=2**32 - 1),
+        st.floats(allow_nan=False, allow_infinity=False),
+        st.binary(max_size=12).filter(lambda b: not b.endswith(b"\x00")),
+    )
+    def test_roundtrip_property(self, id_, count, ratio, label):
+        values = {"id": id_, "count": count, "ratio": ratio, "label": label}
+        decoded = SCHEMA.decode(SCHEMA.encode(values))
+        assert decoded["id"] == id_
+        assert decoded["count"] == count
+        assert decoded["ratio"] == ratio
+        assert decoded["label"] == label
+
+
+class TestPersistence:
+    def test_to_from_dict_roundtrip(self):
+        rebuilt = Schema.from_dict(SCHEMA.to_dict())
+        assert rebuilt.record_size == SCHEMA.record_size
+        assert [f.name for f in rebuilt.fields] == [f.name for f in SCHEMA.fields]
+        assert rebuilt.field("label").size == 12

@@ -1,0 +1,129 @@
+"""Protection scheme framework: factory, metadata, shared maintenance."""
+
+import pytest
+
+from repro.core import make_scheme, SCHEME_NAMES
+from repro.core.data_codeword import DataCodewordScheme
+from repro.core.deferred import DeferredMaintenanceScheme
+from repro.core.hardware import HardwareProtectionScheme
+from repro.core.precheck import ReadPrecheckScheme
+from repro.core.read_logging import ReadLoggingScheme
+from repro.core.schemes import BaselineScheme
+from repro.errors import ConfigError
+
+from tests.conftest import insert_accounts
+
+
+class TestFactory:
+    def test_all_names_construct(self):
+        for name in SCHEME_NAMES:
+            assert make_scheme(name) is not None
+
+    def test_unknown_name_rejected(self):
+        with pytest.raises(ConfigError):
+            make_scheme("magic")
+
+    def test_baseline(self):
+        scheme = make_scheme("baseline")
+        assert isinstance(scheme, BaselineScheme)
+        assert scheme.direct_protection == "none"
+
+    def test_precheck_region_size(self):
+        scheme = make_scheme("precheck", region_size=512)
+        assert isinstance(scheme, ReadPrecheckScheme)
+        assert scheme.region_size == 512
+
+    def test_data_cw_defaults_to_large_regions(self):
+        scheme = make_scheme("data_cw")
+        assert isinstance(scheme, DataCodewordScheme)
+        assert scheme.region_size == 65536
+
+    def test_read_logging_variants(self):
+        plain = make_scheme("read_logging")
+        checksummed = make_scheme("cw_read_logging")
+        assert isinstance(plain, ReadLoggingScheme)
+        assert not plain.logs_read_checksums
+        assert checksummed.logs_read_checksums
+        assert checksummed.name == "cw_read_logging"
+
+    def test_hardware(self):
+        assert isinstance(make_scheme("hardware"), HardwareProtectionScheme)
+
+    def test_deferred(self):
+        assert isinstance(make_scheme("deferred"), DeferredMaintenanceScheme)
+
+
+class TestCapabilityMetadata:
+    """The Direct/Indirect columns of Table 2."""
+
+    def test_table2_capability_matrix(self):
+        expectations = {
+            "baseline": ("none", "none"),
+            "data_cw": ("detect", "none"),
+            "precheck": ("detect", "prevent"),
+            "read_logging": ("detect", "detect+correct"),
+            "hardware": ("prevent", "unneeded"),
+        }
+        for name, (direct, indirect) in expectations.items():
+            scheme = make_scheme(name)
+            assert scheme.direct_protection == direct, name
+            assert scheme.indirect_protection == indirect, name
+
+
+class TestSpaceOverhead:
+    def test_overhead_tracks_region_size(self):
+        assert make_scheme("precheck", region_size=64).space_overhead == 4 / 64
+        assert make_scheme("precheck", region_size=512).space_overhead == 4 / 512
+        assert make_scheme("baseline").space_overhead == 0.0
+
+    def test_paper_64_byte_overhead_is_about_6_percent(self):
+        assert make_scheme("precheck", region_size=64).space_overhead == pytest.approx(
+            0.0625
+        )
+
+
+@pytest.mark.parametrize(
+    "scheme,params",
+    [
+        ("data_cw", {}),
+        ("precheck", {"region_size": 64}),
+        ("precheck", {"region_size": 512}),
+        ("read_logging", {}),
+        ("cw_read_logging", {}),
+        ("deferred", {}),
+    ],
+)
+class TestMaintenanceConsistency:
+    """Under every codeword scheme, prescribed activity keeps audits clean."""
+
+    def test_workload_then_clean_audit(self, db_factory, scheme, params):
+        db = db_factory(scheme=scheme, **params)
+        table = db.table("acct")
+        slots = insert_accounts(db, 20)
+        txn = db.begin()
+        for i in range(10):
+            table.update(txn, slots[i], {"balance": i * 11})
+        table.delete(txn, slots[19])
+        db.commit(txn)
+        txn = db.begin()
+        db.abort(txn)
+        assert db.audit().clean
+
+    def test_txn_abort_keeps_codewords_consistent(self, db_factory, scheme, params):
+        db = db_factory(scheme=scheme, **params)
+        table = db.table("acct")
+        slots = insert_accounts(db, 5)
+        txn = db.begin()
+        table.update(txn, slots[0], {"balance": 999})
+        table.insert(txn, {"id": 100, "balance": 1})
+        table.delete(txn, slots[1])
+        db.abort(txn)
+        assert db.audit().clean
+
+    def test_wild_write_detected_by_audit(self, db_factory, scheme, params):
+        db = db_factory(scheme=scheme, **params)
+        insert_accounts(db, 5)
+        db.memory.poke(db.table("acct").record_address(2), b"\xde\xad")
+        report = db.audit()
+        assert not report.clean
+        assert len(report.corrupt_regions) == 1

@@ -1,0 +1,217 @@
+"""Table operations: CRUD, indexes, logical undo symmetry."""
+
+import pytest
+
+from repro.errors import ConfigError, LockError, TransactionError
+
+from tests.conftest import insert_accounts
+
+
+class TestInsert:
+    def test_insert_returns_slot_and_indexes(self, db):
+        table = db.table("acct")
+        txn = db.begin()
+        slot = table.insert(txn, {"id": 9, "balance": 10, "name": "x"})
+        assert table.lookup(txn, 9) == slot
+        db.commit(txn)
+
+    def test_row_count(self, db):
+        insert_accounts(db, 7)
+        txn = db.begin()
+        assert db.table("acct").row_count(txn) == 7
+        db.commit(txn)
+
+    def test_capacity_exhaustion_rolls_back_operation(self, db_factory):
+        db = db_factory(capacity=4)
+        insert_accounts(db, 4)
+        table = db.table("acct")
+        txn = db.begin()
+        from repro.errors import OutOfSpaceError
+
+        with pytest.raises(OutOfSpaceError):
+            table.insert(txn, {"id": 99})
+        db.commit(txn)  # txn still healthy; op rolled back
+        txn = db.begin()
+        assert table.row_count(txn) == 4
+        db.commit(txn)
+
+
+class TestRead:
+    def test_read_decodes_fields(self, db):
+        slots = insert_accounts(db, 2)
+        txn = db.begin()
+        row = db.table("acct").read(txn, slots[1])
+        assert row == {"id": 1, "balance": 100, "name": b"acct1"}
+        db.commit(txn)
+
+    def test_read_unallocated_slot_rejected(self, db):
+        txn = db.begin()
+        with pytest.raises(ConfigError):
+            db.table("acct").read(txn, 5)
+        db.abort(txn)
+
+    def test_lookup_missing_key(self, db):
+        insert_accounts(db, 2)
+        txn = db.begin()
+        assert db.table("acct").lookup(txn, 999) is None
+        db.commit(txn)
+
+    def test_scan_slots(self, db):
+        slots = insert_accounts(db, 5)
+        txn = db.begin()
+        assert set(db.table("acct").scan_slots(txn)) == set(slots.values())
+        db.commit(txn)
+
+
+class TestUpdate:
+    def test_update_single_field(self, db):
+        slots = insert_accounts(db, 1)
+        table = db.table("acct")
+        txn = db.begin()
+        table.update(txn, slots[0], {"balance": 42})
+        row = table.read(txn, slots[0])
+        assert row["balance"] == 42
+        assert row["name"] == b"acct0"  # untouched fields intact
+        db.commit(txn)
+
+    def test_update_multiple_fields(self, db):
+        slots = insert_accounts(db, 1)
+        table = db.table("acct")
+        txn = db.begin()
+        table.update(txn, slots[0], {"balance": 1, "name": "renamed"})
+        row = table.read(txn, slots[0])
+        assert (row["balance"], row["name"]) == (1, b"renamed")
+        db.commit(txn)
+
+    def test_update_with_callable(self, db):
+        slots = insert_accounts(db, 1, balance=10)
+        table = db.table("acct")
+        txn = db.begin()
+        table.update(txn, slots[0], {"balance": lambda b: b * 3})
+        assert table.read(txn, slots[0])["balance"] == 30
+        db.commit(txn)
+
+    def test_update_no_fields_rejected(self, db):
+        slots = insert_accounts(db, 1)
+        txn = db.begin()
+        with pytest.raises(TransactionError):
+            db.table("acct").update(txn, slots[0], {})
+        db.commit(txn)
+
+    def test_update_unallocated_rejected(self, db):
+        txn = db.begin()
+        with pytest.raises(ConfigError):
+            db.table("acct").update(txn, 3, {"balance": 1})
+        db.commit(txn)
+
+
+class TestDelete:
+    def test_delete_frees_slot_and_index(self, db):
+        slots = insert_accounts(db, 3)
+        table = db.table("acct")
+        txn = db.begin()
+        table.delete(txn, slots[1])
+        assert table.lookup(txn, 1) is None
+        assert table.row_count(txn) == 2
+        db.commit(txn)
+
+    def test_deleted_slot_reusable(self, db):
+        slots = insert_accounts(db, 3)
+        table = db.table("acct")
+        txn = db.begin()
+        table.delete(txn, slots[0])
+        new_slot = table.insert(txn, {"id": 50, "balance": 5})
+        assert new_slot == slots[0]
+        db.commit(txn)
+
+
+class TestLogicalUndoSymmetry:
+    """abort() after each operation kind restores the prior logical state.
+
+    Logical undo (multi-level recovery) restores *logical* content --
+    allocation hints and index entry-pool positions may legitimately
+    differ -- so the oracle compares allocated slots, record bytes and
+    key lookups, not raw segment bytes.
+    """
+
+    def snapshot(self, db):
+        table = db.table("acct")
+        txn = db.begin()
+        state = {
+            slot: table.read_bytes(txn, slot) for slot in table.scan_slots(txn)
+        }
+        keys = {
+            state[slot]: table.lookup(
+                txn, table.schema.decode_field("id", state[slot][:8])
+            )
+            for slot in state
+        }
+        db.commit(txn)
+        return state, keys
+
+    def test_insert_undo(self, db):
+        insert_accounts(db, 2)
+        before = self.snapshot(db)
+        txn = db.begin()
+        db.table("acct").insert(txn, {"id": 70, "balance": 7})
+        db.abort(txn)
+        after = self.snapshot(db)
+        assert before == after
+
+    def test_delete_undo(self, db):
+        slots = insert_accounts(db, 2)
+        before = self.snapshot(db)
+        txn = db.begin()
+        db.table("acct").delete(txn, slots[1])
+        db.abort(txn)
+        assert self.snapshot(db) == before
+
+    def test_update_undo(self, db):
+        slots = insert_accounts(db, 2)
+        before = self.snapshot(db)
+        txn = db.begin()
+        db.table("acct").update(txn, slots[0], {"balance": 1, "name": "zz"})
+        db.abort(txn)
+        assert self.snapshot(db) == before
+
+    def test_mixed_undo(self, db):
+        slots = insert_accounts(db, 3)
+        before = self.snapshot(db)
+        txn = db.begin()
+        table = db.table("acct")
+        table.update(txn, slots[0], {"balance": 1})
+        table.delete(txn, slots[1])
+        table.insert(txn, {"id": 88, "balance": 8})
+        table.update(txn, slots[2], {"name": "yy"})
+        db.abort(txn)
+        assert self.snapshot(db) == before
+
+
+class TestLocking:
+    def test_concurrent_writers_conflict(self, db):
+        slots = insert_accounts(db, 1)
+        table = db.table("acct")
+        t1, t2 = db.begin(), db.begin()
+        table.update(t1, slots[0], {"balance": 1})
+        with pytest.raises(LockError):
+            table.update(t2, slots[0], {"balance": 2})
+        db.commit(t1)
+        db.abort(t2)
+
+    def test_readers_share(self, db):
+        slots = insert_accounts(db, 1)
+        table = db.table("acct")
+        t1, t2 = db.begin(), db.begin()
+        assert table.read(t1, slots[0]) == table.read(t2, slots[0])
+        db.commit(t1)
+        db.commit(t2)
+
+    def test_reader_blocks_writer(self, db):
+        slots = insert_accounts(db, 1)
+        table = db.table("acct")
+        t1, t2 = db.begin(), db.begin()
+        table.read(t1, slots[0])
+        with pytest.raises(LockError):
+            table.update(t2, slots[0], {"balance": 2})
+        db.commit(t1)
+        db.abort(t2)

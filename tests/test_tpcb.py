@@ -1,0 +1,186 @@
+"""The TPC-B workload generator and benchmark harness."""
+
+import pytest
+
+from repro import DBConfig
+from repro.bench.harness import SchemeSpec, run_scheme
+from repro.bench.platforms import PLATFORMS, mprotect_microbenchmark
+from repro.bench.reporting import render_table1, render_table2
+from repro.bench.tpcb import (
+    ACCOUNT_SCHEMA,
+    BRANCH_SCHEMA,
+    HISTORY_SCHEMA,
+    TELLER_SCHEMA,
+    TPCBConfig,
+    TPCBWorkload,
+    build_tpcb_database,
+    load_tpcb,
+)
+from repro.errors import WorkloadError
+
+TINY = TPCBConfig(
+    accounts=200, tellers=40, branches=4, operations=60, ops_per_txn=20
+)
+
+
+class TestSchemas:
+    def test_all_records_are_100_bytes(self):
+        """Section 5.2: four tables, each with 100 bytes per record."""
+        for schema in (ACCOUNT_SCHEMA, TELLER_SCHEMA, BRANCH_SCHEMA, HISTORY_SCHEMA):
+            assert schema.record_size == 100
+
+    def test_paper_default_sizes(self):
+        cfg = TPCBConfig()
+        assert (cfg.accounts, cfg.tellers, cfg.branches) == (100_000, 10_000, 1_000)
+        assert cfg.operations == 50_000
+        assert cfg.ops_per_txn == 500
+
+    def test_scaled(self):
+        cfg = TPCBConfig().scaled(0.01)
+        assert cfg.accounts == 1000
+        assert cfg.tellers == 100
+        assert cfg.branches == 10
+        assert cfg.operations == 500
+
+    def test_bad_scale_rejected(self):
+        with pytest.raises(WorkloadError):
+            TPCBConfig().scaled(0)
+
+
+class TestWorkload:
+    def make_db(self, tmp_path, scheme="baseline"):
+        db = build_tpcb_database(
+            DBConfig(dir=str(tmp_path / "db"), scheme=scheme), TINY
+        )
+        load_tpcb(db, TINY)
+        return db
+
+    def test_load_populates_tables(self, tmp_path):
+        db = self.make_db(tmp_path)
+        txn = db.begin()
+        assert db.table("account").row_count(txn) == TINY.accounts
+        assert db.table("teller").row_count(txn) == TINY.tellers
+        assert db.table("branch").row_count(txn) == TINY.branches
+        assert db.table("history").row_count(txn) == 0
+        db.commit(txn)
+        db.close()
+
+    def test_operations_update_balances_and_append_history(self, tmp_path):
+        db = self.make_db(tmp_path)
+        runner = TPCBWorkload(db, TINY)
+        runner.run()
+        txn = db.begin()
+        assert db.table("history").row_count(txn) == TINY.operations
+        # Money conservation: account deltas == teller deltas == branch deltas.
+        totals = {}
+        for name in ("account", "teller", "branch"):
+            table = db.table(name)
+            totals[name] = sum(
+                table.read(txn, slot)["balance"] for slot in table.scan_slots(txn)
+            )
+        db.commit(txn)
+        assert totals["account"] == totals["teller"] == totals["branch"]
+        db.close()
+
+    def test_commit_batching(self, tmp_path):
+        db = self.make_db(tmp_path)
+        before = db.manager.committed_count
+        TPCBWorkload(db, TINY).run()
+        committed = db.manager.committed_count - before
+        assert committed == TINY.operations // TINY.ops_per_txn
+        db.close()
+
+    def test_deterministic_given_seed(self, tmp_path):
+        balances = []
+        for sub in ("x", "y"):
+            db = build_tpcb_database(
+                DBConfig(dir=str(tmp_path / sub)), TINY
+            )
+            load_tpcb(db, TINY)
+            TPCBWorkload(db, TINY).run()
+            txn = db.begin()
+            table = db.table("account")
+            balances.append(
+                tuple(table.read(txn, s)["balance"] for s in range(20))
+            )
+            db.commit(txn)
+            db.close()
+        assert balances[0] == balances[1]
+
+    def test_audit_clean_after_workload(self, tmp_path):
+        db = self.make_db(tmp_path, scheme="data_cw")
+        TPCBWorkload(db, TINY).run()
+        assert db.audit().clean
+        db.close()
+
+
+class TestHarness:
+    def test_run_scheme_reports_throughput(self, tmp_path):
+        spec = SchemeSpec("Baseline", "baseline", {}, 417, 0.0)
+        result = run_scheme(spec, TINY, str(tmp_path / "run"))
+        assert result.operations == TINY.operations
+        assert result.ops_per_sec > 0
+        assert result.events  # event breakdown present
+
+    def test_scheme_dir_names(self):
+        assert SchemeSpec("x", "precheck", {"region_size": 64}).scheme_dir() == (
+            "precheck_region_size64"
+        )
+        assert SchemeSpec("x", "baseline").scheme_dir() == "baseline"
+
+    def test_codeword_scheme_slower_than_baseline(self, tmp_path):
+        base = run_scheme(
+            SchemeSpec("Baseline", "baseline"), TINY, str(tmp_path / "b")
+        )
+        cw = run_scheme(
+            SchemeSpec("Data CW", "data_cw"), TINY, str(tmp_path / "c")
+        )
+        assert cw.ops_per_sec < base.ops_per_sec
+
+
+class TestTable1:
+    def test_microbenchmark_matches_paper_within_two_percent(self):
+        for name, profile in PLATFORMS.items():
+            measured = mprotect_microbenchmark(profile, pages=200, reps=5)
+            assert measured == pytest.approx(profile.paper_pairs_per_sec, rel=0.02), name
+
+    def test_hp_anomaly_reproduced(self):
+        """HP has ~2x the SPECint92 of the SS20 but ~1/4 the mprotect rate."""
+        hp = PLATFORMS["HP 9000 C110"]
+        ss20 = PLATFORMS["SPARCstation 20"]
+        assert hp.specint92 > ss20.specint92 * 1.8
+        hp_rate = mprotect_microbenchmark(hp, pages=100, reps=2)
+        ss20_rate = mprotect_microbenchmark(ss20, pages=100, reps=2)
+        assert hp_rate < ss20_rate / 3
+
+
+class TestReporting:
+    def test_render_table1(self):
+        measured = {name: float(p.paper_pairs_per_sec) for name, p in PLATFORMS.items()}
+        text = render_table1(measured)
+        assert "SPARCstation 20" in text and "15,600" in text
+
+    def test_render_table2(self, tmp_path):
+        result = run_scheme(
+            SchemeSpec("Baseline", "baseline", {}, 417, 0.0),
+            TINY,
+            str(tmp_path / "r"),
+        )
+        result.slowdown_pct = 0.0
+        text = render_table2([result])
+        assert "Baseline" in text and "% Slower" in text
+
+
+class TestRunTable2:
+    def test_two_row_batch_computes_relative_slowdown(self, tmp_path):
+        from repro.bench.harness import run_table2
+
+        rows = (
+            SchemeSpec("Baseline", "baseline", {}, 417, 0.0),
+            SchemeSpec("Data CW", "data_cw", {}, 380, 8.5),
+        )
+        results = run_table2(TINY, str(tmp_path / "t2"), rows=rows)
+        assert results[0].slowdown_pct == 0.0
+        assert 0.0 < results[1].slowdown_pct < 30.0
+        text = render_table2(results)
+        assert "Data CW" in text
