@@ -1,0 +1,123 @@
+"""Wall-clock microbenchmark of the vectorized audit kernel.
+
+Unlike the virtual-time Table 2 reproduction, this file measures *real*
+wall-clock throughput of ``CodewordTable.scan_mismatches`` -- the hottest
+loop in the system (it folds the entire image at every checkpoint) -- and
+compares the vectorized numpy kernel against the seed's scalar
+read-and-fold loop at the paper's three region sizes.
+
+Results are written to ``BENCH_audit.json`` at the repo root so later PRs
+have a perf trajectory to regress against (see docs/paper_to_code.md,
+"Audit cost & vectorization").
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+
+import numpy as np
+import pytest
+
+from repro.core.regions import CodewordTable
+from repro.mem.memory import MemoryImage
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+BENCH_PATH = os.path.join(REPO_ROOT, "BENCH_audit.json")
+
+IMAGE_BYTES = 4 * 1024 * 1024  # the acceptance floor: >= 4 MB
+REGION_SIZES = (64, 512, 8192)
+#: The acceptance criterion: vectorized full-image scan at 512-byte
+#: regions must beat the seed scalar path by at least this factor.
+REQUIRED_SPEEDUP_512 = 10.0
+
+
+def _build_image() -> MemoryImage:
+    """A 4 MB image split across segments, filled with non-zero noise."""
+    memory = MemoryImage(page_size=8192)
+    memory.add_segment("accounts", IMAGE_BYTES // 2, kind="data")
+    memory.add_segment("tellers", IMAGE_BYTES // 4, kind="data")
+    memory.add_segment("control", IMAGE_BYTES // 4, kind="control")
+    rng = np.random.default_rng(0xC0DE)
+    memory.restore(0, rng.integers(0, 256, size=memory.size, dtype=np.uint8).tobytes())
+    return memory
+
+
+def _scalar_scan(table: CodewordTable) -> list[int]:
+    """The seed implementation: per-region copying read + scalar fold."""
+    return [
+        region_id
+        for region_id in range(table.region_count)
+        if table.compute_scalar(region_id) != table.stored(region_id)
+    ]
+
+
+def _best_of(callable_, repeats: int) -> tuple[float, object]:
+    best = float("inf")
+    result = None
+    for _ in range(repeats):
+        start = time.perf_counter()
+        result = callable_()
+        best = min(best, time.perf_counter() - start)
+    return best, result
+
+
+def _corrupt(memory: MemoryImage, address: int, length: int) -> None:
+    """Invert ``length`` bytes: a wild write guaranteed to change content."""
+    current = memory.read(address, length)
+    memory.poke(address, bytes(b ^ 0xFF for b in current))
+
+
+@pytest.fixture(scope="module")
+def bench_results() -> dict:
+    memory = _build_image()
+    entries = {}
+    for region_size in REGION_SIZES:
+        table = CodewordTable(memory, region_size)
+        table.rebuild_all()
+        # Corrupt a few regions so the scan has real mismatches to report.
+        # Inverted spans must not cover an even number of whole words, or
+        # the per-word deltas XOR-cancel (the documented blind spot).
+        _corrupt(memory, 100, 5)
+        _corrupt(memory, memory.size // 2 + 11, 3)
+        _corrupt(memory, memory.size - 5, 1)
+
+        scalar_s, scalar_found = _best_of(lambda: _scalar_scan(table), repeats=1)
+        vector_s, vector_found = _best_of(table.scan_mismatches, repeats=3)
+        assert vector_found == scalar_found
+        assert len(vector_found) == 3
+
+        entries[str(region_size)] = {
+            "regions": table.region_count,
+            "scalar_s": scalar_s,
+            "vector_s": vector_s,
+            "speedup": scalar_s / vector_s,
+            "scalar_regions_per_sec": table.region_count / scalar_s,
+            "vector_regions_per_sec": table.region_count / vector_s,
+            "corrupt_found": len(vector_found),
+        }
+    return {
+        "version": 1,
+        "image_bytes": memory.size,
+        "region_sizes": entries,
+    }
+
+
+class TestAuditKernel:
+    def test_vectorized_matches_scalar_and_is_10x_at_512(self, bench_results):
+        entry = bench_results["region_sizes"]["512"]
+        assert entry["speedup"] >= REQUIRED_SPEEDUP_512, (
+            f"vectorized scan only {entry['speedup']:.1f}x faster than the "
+            f"scalar path (required {REQUIRED_SPEEDUP_512}x)"
+        )
+
+    def test_all_region_sizes_faster(self, bench_results):
+        for size, entry in bench_results["region_sizes"].items():
+            assert entry["speedup"] > 1.0, f"no speedup at {size}-byte regions"
+
+    def test_emit_bench_json(self, bench_results):
+        with open(BENCH_PATH, "w") as handle:
+            json.dump(bench_results, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        assert os.path.exists(BENCH_PATH)

@@ -6,6 +6,7 @@ Usage::
     python -m repro.bench --table 2 --scale 0.1
     python -m repro.bench --table 1
     python -m repro.bench --sweep         # region-size ablation series
+    python -m repro.bench --json BENCH_tables.json   # machine-readable copy
 """
 
 from __future__ import annotations
@@ -15,21 +16,28 @@ import os
 import shutil
 import tempfile
 
-from repro.bench.harness import SchemeSpec, TABLE2_ROWS, run_scheme
+from repro.bench.harness import RunResult, SchemeSpec, TABLE2_ROWS, run_scheme
 from repro.bench.platforms import PLATFORMS, mprotect_microbenchmark
-from repro.bench.reporting import render_table, render_table1, render_table2
+from repro.bench.reporting import (
+    bench_json_payload,
+    render_table,
+    render_table1,
+    render_table2,
+    write_bench_json,
+)
 from repro.bench.tpcb import TPCBConfig
 
 
-def print_table1() -> None:
+def print_table1() -> dict[str, float]:
     measured = {
         name: mprotect_microbenchmark(profile)
         for name, profile in PLATFORMS.items()
     }
     print(render_table1(measured))
+    return measured
 
 
-def print_table2(scale: float) -> None:
+def print_table2(scale: float) -> list[RunResult]:
     workload = TPCBConfig().scaled(scale)
     print(
         f"TPC-B at scale {scale}: {workload.accounts:,} accounts, "
@@ -50,6 +58,7 @@ def print_table2(scale: float) -> None:
                 result.slowdown_pct = 100.0 * (1.0 - result.ops_per_sec / baseline)
             results.append(result)
         print(render_table2(results))
+        return results
     finally:
         shutil.rmtree(workdir)
 
@@ -111,16 +120,31 @@ def main(argv: list[str] | None = None) -> int:
         action="store_true",
         help="also print the region-size ablation sweep",
     )
+    parser.add_argument(
+        "--json",
+        metavar="PATH",
+        default=None,
+        help="also write the reproduced tables as machine-readable JSON "
+        "(a BENCH_*.json perf-trajectory artifact)",
+    )
     args = parser.parse_args(argv)
 
+    table1 = None
+    table2 = None
     if args.table in ("1", "all"):
-        print_table1()
+        table1 = print_table1()
         print()
     if args.table in ("2", "all"):
-        print_table2(args.scale)
+        table2 = print_table2(args.scale)
     if args.sweep:
         print()
         print_region_sweep(args.scale)
+    if args.json:
+        write_bench_json(
+            args.json,
+            bench_json_payload(table1=table1, table2=table2, scale=args.scale),
+        )
+        print(f"\nwrote {args.json}")
     return 0
 
 

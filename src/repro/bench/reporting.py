@@ -6,6 +6,8 @@ paper's published values alongside for eyeball comparison.
 
 from __future__ import annotations
 
+import json
+
 from repro.bench.harness import RunResult
 from repro.bench.platforms import PLATFORMS, PlatformProfile
 
@@ -77,3 +79,62 @@ def render_table2(results: list[RunResult]) -> str:
         rows,
         title="Table 2. Cost of Corruption Protection",
     )
+
+
+# --------------------------------------------------------------- JSON output
+
+#: Format marker for machine-readable BENCH_*.json artifacts; bump on
+#: breaking layout changes so trajectory tooling can tell files apart.
+BENCH_JSON_VERSION = 1
+
+
+def run_result_to_dict(result: RunResult) -> dict:
+    """A ``RunResult`` as plain JSON-serializable data.
+
+    The full event breakdown rides along so a captured run stays
+    decomposable into "N events of kind K" without re-running it.
+    """
+    return {
+        "label": result.label,
+        "scheme": result.scheme,
+        "operations": result.operations,
+        "elapsed_virtual_s": result.elapsed_virtual_s,
+        "ops_per_sec": result.ops_per_sec,
+        "slowdown_pct": result.slowdown_pct,
+        "paper_ops_per_sec": result.paper_ops_per_sec,
+        "paper_slowdown_pct": result.paper_slowdown_pct,
+        "space_overhead_pct": result.space_overhead_pct,
+        "events": {
+            event: {"count": count, "total_ns": total_ns}
+            for event, (count, total_ns) in result.events.items()
+        },
+    }
+
+
+def bench_json_payload(
+    table1: dict[str, float] | None = None,
+    table2: list[RunResult] | None = None,
+    scale: float | None = None,
+) -> dict:
+    """Assemble the machine-readable counterpart of the printed tables."""
+    payload: dict = {"version": BENCH_JSON_VERSION}
+    if scale is not None:
+        payload["scale"] = scale
+    if table1 is not None:
+        payload["table1"] = {
+            name: {
+                "pairs_per_sec_measured": pairs,
+                "pairs_per_sec_paper": PLATFORMS[name].paper_pairs_per_sec,
+            }
+            for name, pairs in table1.items()
+        }
+    if table2 is not None:
+        payload["table2"] = [run_result_to_dict(result) for result in table2]
+    return payload
+
+
+def write_bench_json(path: str, payload: dict) -> None:
+    """Write a ``BENCH_*.json`` perf-trajectory artifact."""
+    with open(path, "w") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+        handle.write("\n")

@@ -33,16 +33,28 @@ class AuditReport:
     region_size: int
     regions_checked: int
     corrupt_ranges: tuple[tuple[int, int], ...] = field(default=())
+    #: Total image size in bytes; 0 when unknown.  Lets the fallback below
+    #: clamp the final (possibly ragged) region like ``region_bounds``.
+    image_size: int = 0
 
     @property
     def corrupt_byte_ranges(self) -> tuple[tuple[int, int], ...]:
-        """``(start_address, length)`` of each corrupt region."""
+        """``(start_address, length)`` of each corrupt region.
+
+        The fallback clamps the last region to the image size, matching
+        :meth:`~repro.core.regions.CodewordTable.region_bounds`, so a
+        ragged final region never reports bytes past the end of memory.
+        """
         if self.corrupt_ranges:
             return self.corrupt_ranges
-        return tuple(
-            (region_id * self.region_size, self.region_size)
-            for region_id in self.corrupt_regions
-        )
+        ranges = []
+        for region_id in self.corrupt_regions:
+            start = region_id * self.region_size
+            length = self.region_size
+            if self.image_size:
+                length = min(length, self.image_size - start)
+            ranges.append((start, length))
+        return tuple(ranges)
 
 
 class Auditor:
@@ -109,6 +121,7 @@ class Auditor:
             region_size=region_size,
             regions_checked=regions_checked,
             corrupt_ranges=ranges,
+            image_size=table.memory.size if table is not None else 0,
         )
 
     def run_incremental(self, batch: int) -> AuditReport:

@@ -27,23 +27,34 @@ _NUMPY_THRESHOLD = 256  # below this, a Python loop beats numpy's call overhead
 CODEWORD_MASK = 0xFFFFFFFF
 
 
-def fold_words(data: bytes) -> int:
+def fold_words(data: "bytes | bytearray | memoryview") -> int:
     """XOR-fold ``data`` as 32-bit little-endian words.
 
     Data whose length is not a multiple of four is zero-padded at the end,
     which matches how a region at the very end of the image is folded.
+    Accepts any contiguous byte buffer (``bytes``, ``bytearray``,
+    ``memoryview``) and never copies the aligned prefix: only the ragged
+    tail word -- at most three bytes -- is materialized for padding.
     """
-    remainder = len(data) % WORD
-    if remainder:
-        data = data + b"\x00" * (WORD - remainder)
-    if not data:
+    length = len(data)
+    if length == 0:
         return 0
-    if len(data) >= _NUMPY_THRESHOLD:
-        words = np.frombuffer(data, dtype="<u4")
-        return int(np.bitwise_xor.reduce(words))
+    remainder = length % WORD
+    aligned = length - remainder
     codeword = 0
-    for (word,) in struct.iter_unpack("<I", data):
-        codeword ^= word
+    if aligned:
+        if aligned >= _NUMPY_THRESHOLD:
+            # Zero-copy view of the aligned prefix; `count` stops numpy
+            # from reading the ragged tail.
+            words = np.frombuffer(data, dtype="<u4", count=aligned // WORD)
+            codeword = int(np.bitwise_xor.reduce(words))
+        else:
+            prefix = memoryview(data)[:aligned] if remainder else data
+            for (word,) in struct.iter_unpack("<I", prefix):
+                codeword ^= word
+    if remainder:
+        tail = bytes(memoryview(data)[aligned:]) + b"\x00" * (WORD - remainder)
+        codeword ^= struct.unpack("<I", tail)[0]
     return codeword
 
 
@@ -57,7 +68,7 @@ def positioned_fold(address: int, data: bytes) -> int:
     """
     lead = address % WORD
     if lead:
-        data = b"\x00" * lead + data
+        data = b"\x00" * lead + bytes(data)
     return fold_words(data)
 
 

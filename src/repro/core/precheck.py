@@ -10,6 +10,12 @@ of the check), so a reader never sees a half-maintained codeword.
 The scheme's cost scales with region size -- a read of a few bytes folds
 the whole region -- which is the time/space tradeoff explored by the
 64-byte/512-byte/8 KB rows of Table 2.
+
+The *virtual* cost charged per check (``cw_check_word`` x words in the
+region) is unchanged by vectorization; the wall-clock fold goes through
+:meth:`CodewordTable.matches`, which folds a zero-copy
+:meth:`~repro.mem.memory.MemoryImage.view` of the region instead of a
+copying ``read`` + scalar loop.
 """
 
 from __future__ import annotations
@@ -64,6 +70,8 @@ class ReadPrecheckScheme(CodewordSchemeBase):
             self.meter.charge("cw_check_fixed")
             self.meter.charge("cw_check_word", word_count(region_len))
             self.precheck_count += 1
+            # matches() folds a zero-copy view of the region (vectorized
+            # for large regions); the charges above are the cost model.
             if not self._table.matches(region_id):
                 self.precheck_failures += 1
                 raise CorruptionDetected([region_id], context="read precheck")

@@ -20,6 +20,7 @@ Three write paths exist, mirroring the paper's threat model:
 
 from __future__ import annotations
 
+from bisect import bisect_right
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Iterator
 
@@ -63,6 +64,9 @@ class MemoryImage:
         self.mmu: "SimulatedMMU | None" = None
         self._segments: list[Segment] = []
         self._by_name: dict[str, Segment] = {}
+        # Segment bases, sorted ascending (segments are allocated
+        # contiguously), so address -> segment is a bisect, not a scan.
+        self._bases: list[int] = []
         self._next_base = 0
 
     # ------------------------------------------------------------ layout
@@ -81,6 +85,7 @@ class MemoryImage:
         segment = Segment(name=name, base=self._next_base, size=size, kind=kind)
         self._segments.append(segment)
         self._by_name[name] = segment
+        self._bases.append(segment.base)
         self._next_base += size
         return segment
 
@@ -102,17 +107,21 @@ class MemoryImage:
     def page_count(self) -> int:
         return self._next_base // self.page_size
 
+    def _segment_at(self, address: int) -> Segment:
+        """Segment containing ``address`` (bisect; segments are sorted)."""
+        if address < 0 or address >= self._next_base:
+            raise MemoryError_(f"address {address:#x} is not mapped")
+        return self._segments[bisect_right(self._bases, address) - 1]
+
     def segment_for(self, address: int, length: int = 1) -> Segment:
         """Locate the segment containing ``[address, address + length)``."""
-        for segment in self._segments:
-            if segment.base <= address < segment.end:
-                if address + max(length, 1) > segment.end:
-                    raise MemoryError_(
-                        f"access of {length} bytes at {address:#x} crosses the "
-                        f"end of segment {segment.name!r}"
-                    )
-                return segment
-        raise MemoryError_(f"address {address:#x} is not mapped")
+        segment = self._segment_at(address)
+        if address + max(length, 1) > segment.end:
+            raise MemoryError_(
+                f"access of {length} bytes at {address:#x} crosses the "
+                f"end of segment {segment.name!r}"
+            )
+        return segment
 
     def _spans(self, address: int, length: int):
         """Yield ``(segment, seg_offset, chunk_len)`` covering a flat range.
@@ -131,7 +140,7 @@ class MemoryImage:
         remaining = length
         position = address
         while remaining > 0:
-            segment = self.segment_for(position)
+            segment = self._segment_at(position)
             offset = position - segment.base
             chunk = min(remaining, segment.size - offset)
             yield segment, offset, chunk
@@ -144,12 +153,41 @@ class MemoryImage:
         """Raw read; protection-scheme hooks live above this layer."""
         if length == 0:
             # Validate the address even for empty reads.
-            self.segment_for(address)
+            self._segment_at(address)
             return b""
+        if length > 0 and address >= 0 and address + length <= self._next_base:
+            # Fast path: the whole range lies within one segment (the
+            # overwhelmingly common case -- reads rarely straddle).
+            segment = self._segments[bisect_right(self._bases, address) - 1]
+            if address + length <= segment.end:
+                offset = address - segment.base
+                return bytes(segment.data[offset : offset + length])
         chunks = [
             bytes(seg.data[off : off + n]) for seg, off, n in self._spans(address, length)
         ]
         return chunks[0] if len(chunks) == 1 else b"".join(chunks)
+
+    def view(self, address: int, length: int) -> memoryview | None:
+        """Zero-copy ``memoryview`` of a flat range within one segment.
+
+        Returns ``None`` when the range straddles a segment boundary (the
+        caller falls back to a copying :meth:`read`); raises
+        :class:`MemoryError_` when the range is not mapped at all.  Used by
+        the vectorized audit kernel and read prechecking so folding a
+        region does not copy its bytes.
+        """
+        if length < 0:
+            raise MemoryError_(f"negative access length: {length}")
+        segment = self._segment_at(address)
+        if address + length > self._next_base:
+            raise MemoryError_(
+                f"access of {length} bytes at {address:#x} is outside the "
+                f"{self._next_base}-byte address space"
+            )
+        if address + length > segment.end:
+            return None
+        offset = address - segment.base
+        return memoryview(segment.data)[offset : offset + length]
 
     def write(self, address: int, data: bytes) -> None:
         """Prescribed-path write: MMU-checked and dirty-tracked."""
@@ -178,8 +216,16 @@ class MemoryImage:
         self.dirty_pages.note_dirty_range(address, len(data), self.page_size)
 
     def _store(self, address: int, data: bytes) -> None:
+        length = len(data)
+        if length > 0 and address >= 0 and address + length <= self._next_base:
+            # Fast path: single-segment store without the span generator.
+            segment = self._segments[bisect_right(self._bases, address) - 1]
+            if address + length <= segment.end:
+                offset = address - segment.base
+                segment.data[offset : offset + length] = data
+                return
         consumed = 0
-        for segment, offset, chunk in self._spans(address, len(data)):
+        for segment, offset, chunk in self._spans(address, length):
             segment.data[offset : offset + chunk] = data[consumed : consumed + chunk]
             consumed += chunk
 

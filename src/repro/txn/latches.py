@@ -140,5 +140,15 @@ class LatchTable:
                 self._latches[key] = latch
             return latch
 
+    def any_held(self) -> bool:
+        """Whether any latch in the table is currently held.
+
+        Used by the batch audit fast path: when nothing is in flight, a
+        whole-table scan may fold every region in one vectorized kernel
+        instead of latching region by region.
+        """
+        with self._guard:
+            return any(latch.held() for latch in self._latches.values())
+
     def __len__(self) -> int:
         return len(self._latches)

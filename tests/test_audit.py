@@ -70,6 +70,37 @@ class TestAuditRuns:
         address = adb.table("acct").record_address(0)
         assert start <= address < start + length
 
+    def test_corrupt_byte_ranges_fallback_clamps_last_region(self):
+        """Regression: the fallback (no precomputed corrupt_ranges) must
+        clamp the final ragged region to the image size, exactly like
+        CodewordTable.region_bounds."""
+        from repro.core.audit import AuditReport
+
+        report = AuditReport(
+            audit_id=1,
+            begin_lsn=0,
+            clean=False,
+            corrupt_regions=(0, 2),
+            region_size=4096,
+            regions_checked=3,
+            image_size=10_000,  # last region holds only 10_000 - 8192 bytes
+        )
+        assert report.corrupt_byte_ranges == ((0, 4096), (8192, 10_000 - 8192))
+
+    def test_corrupt_byte_ranges_fallback_without_image_size(self):
+        """With no image size the fallback keeps the old whole-region span."""
+        from repro.core.audit import AuditReport
+
+        report = AuditReport(
+            audit_id=1,
+            begin_lsn=0,
+            clean=False,
+            corrupt_regions=(2,),
+            region_size=4096,
+            regions_checked=3,
+        )
+        assert report.corrupt_byte_ranges == ((8192, 4096),)
+
 
 class TestCrashWithCorruption:
     def test_refuses_clean_report(self, adb):

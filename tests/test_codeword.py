@@ -35,6 +35,19 @@ class TestFoldWords:
             expected ^= word
         assert fold_words(data) == expected
 
+    def test_memoryview_input_no_copy_path(self):
+        """Buffers (memoryview over bytearray) fold identically to bytes."""
+        backing = bytearray(range(200)) + bytearray(b"\x07" * 3)  # ragged tail
+        view = memoryview(backing)
+        assert fold_words(view) == fold_words(bytes(backing))
+        assert fold_words(view[:37]) == fold_words(bytes(backing[:37]))
+
+    @given(st.binary(max_size=600))
+    def test_ragged_tail_equals_explicit_padding(self, data):
+        """The tail-word fold must equal the old pad-the-whole-buffer fold."""
+        padded = data + b"\x00" * (-len(data) % 4)
+        assert fold_words(data) == fold_words(padded)
+
     @given(st.binary(max_size=600))
     def test_fold_is_self_inverse_under_concat(self, data):
         """Folding data twice (word-aligned concat) cancels out."""

@@ -93,6 +93,61 @@ class TestDirtyTracking:
         assert 0 in mem.dirty_pages.pending_for("A")
 
 
+class TestSegmentLookup:
+    """segment_for is a bisect over segment bases; must agree with a scan."""
+
+    def test_bisect_agrees_with_linear_scan_at_boundaries(self):
+        mem = MemoryImage(page_size=8)
+        for i, size in enumerate((8, 24, 8, 40)):
+            mem.add_segment(f"s{i}", size)
+        for seg in mem.segments:
+            assert mem.segment_for(seg.base) is seg
+            assert mem.segment_for(seg.end - 1) is seg
+
+    def test_unmapped_addresses_rejected(self):
+        mem = image()
+        with pytest.raises(MemoryError_):
+            mem.segment_for(-1)
+        with pytest.raises(MemoryError_):
+            mem.segment_for(mem.size)
+
+    def test_cross_segment_access_rejected(self):
+        mem = image()
+        boundary = mem.segment("ctl").base
+        with pytest.raises(MemoryError_):
+            mem.segment_for(boundary - 1, 2)
+
+
+class TestView:
+    def test_view_equals_read(self):
+        mem = image()
+        mem.write(100, b"hello")
+        view = mem.view(96, 16)
+        assert bytes(view) == mem.read(96, 16)
+
+    def test_view_is_zero_copy(self):
+        mem = image()
+        view = mem.view(0, 8)
+        mem.poke(0, b"\xab")  # mutation is visible through the live view
+        assert view[0] == 0xAB
+
+    def test_view_crossing_segments_returns_none(self):
+        mem = image()
+        boundary = mem.segment("ctl").base
+        assert mem.view(boundary - 4, 8) is None
+        assert mem.view(boundary - 4, 4) is not None
+        assert mem.view(boundary, 4) is not None
+
+    def test_view_out_of_bounds_rejected(self):
+        mem = image()
+        with pytest.raises(MemoryError_):
+            mem.view(mem.size - 2, 4)
+        with pytest.raises(MemoryError_):
+            mem.view(-1, 4)
+        with pytest.raises(MemoryError_):
+            mem.view(0, -1)
+
+
 class TestPageViews:
     def test_page_bytes_and_load_page(self):
         mem = image()
