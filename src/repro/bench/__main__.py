@@ -16,7 +16,13 @@ import os
 import shutil
 import tempfile
 
-from repro.bench.harness import RunResult, SchemeSpec, TABLE2_ROWS, run_scheme
+from repro.bench.harness import (
+    RunResult,
+    SchemeSpec,
+    STACKED_ROWS,
+    TABLE2_ROWS,
+    run_scheme,
+)
 from repro.bench.platforms import PLATFORMS, mprotect_microbenchmark
 from repro.bench.reporting import (
     bench_json_payload,
@@ -37,17 +43,18 @@ def print_table1() -> dict[str, float]:
     return measured
 
 
-def print_table2(scale: float) -> list[RunResult]:
+def print_table2(scale: float, stacked: bool = False) -> list[RunResult]:
     workload = TPCBConfig().scaled(scale)
     print(
         f"TPC-B at scale {scale}: {workload.accounts:,} accounts, "
         f"{workload.operations:,} operations\n"
     )
+    rows = TABLE2_ROWS + STACKED_ROWS if stacked else TABLE2_ROWS
     workdir = tempfile.mkdtemp(prefix="repro-bench-")
     try:
         results = []
         baseline = None
-        for spec in TABLE2_ROWS:
+        for spec in rows:
             result = run_scheme(
                 spec, workload, os.path.join(workdir, spec.scheme_dir())
             )
@@ -116,6 +123,12 @@ def main(argv: list[str] | None = None) -> int:
         help="TPC-B scale factor; 1.0 = the paper's 100k accounts (default 0.02)",
     )
     parser.add_argument(
+        "--stacked",
+        action="store_true",
+        help="append the stacked-pipeline rows (e.g. data_cw+read_logging) "
+        "to Table 2",
+    )
+    parser.add_argument(
         "--sweep",
         action="store_true",
         help="also print the region-size ablation sweep",
@@ -135,7 +148,7 @@ def main(argv: list[str] | None = None) -> int:
         table1 = print_table1()
         print()
     if args.table in ("2", "all"):
-        table2 = print_table2(args.scale)
+        table2 = print_table2(args.scale, stacked=args.stacked)
     if args.sweep:
         print()
         print_region_sweep(args.scale)

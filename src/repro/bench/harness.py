@@ -37,8 +37,9 @@ class SchemeSpec:
 
     def scheme_dir(self) -> str:
         """A filesystem-safe per-run directory name."""
+        scheme = self.scheme.replace("+", "-")
         suffix = "_".join(f"{k}{v}" for k, v in sorted(self.params.items()))
-        return f"{self.scheme}_{suffix}" if suffix else self.scheme
+        return f"{scheme}_{suffix}" if suffix else scheme
 
 
 #: The rows of Table 2 in the paper's order.
@@ -59,6 +60,19 @@ TABLE2_ROWS: tuple[SchemeSpec, ...] = (
     ),
 )
 
+#: Stacked-pipeline rows (no paper counterparts -- the paper measured the
+#: levels one at a time; §4.2/§4.3 discuss exactly these combinations).
+#: Run with ``python -m repro.bench --table 2 --stacked``.
+STACKED_ROWS: tuple[SchemeSpec, ...] = (
+    SchemeSpec("Stack: Data CW + ReadLog", "data_cw+read_logging", {}),
+    SchemeSpec("Stack: Data CW + CW ReadLog", "data_cw+cw_read_logging", {}),
+    SchemeSpec(
+        "Stack: Precheck 64 + ReadLog",
+        "precheck+read_logging",
+        {"region_size": 64},
+    ),
+)
+
 
 @dataclass
 class RunResult:
@@ -74,6 +88,9 @@ class RunResult:
     paper_slowdown_pct: float | None
     space_overhead_pct: float
     events: dict[str, tuple[int, int]]
+    #: the scheme_params the run was configured with (e.g. precheck
+    #: region size) -- reported so a captured row is reproducible.
+    scheme_params: dict = field(default_factory=dict)
 
     def events_per_op(self, event: str) -> float:
         count, _ns = self.events.get(event, (0, 0))
@@ -118,6 +135,7 @@ def run_scheme(
         paper_slowdown_pct=spec.paper_slowdown_pct,
         space_overhead_pct=db.scheme.space_overhead * 100.0,
         events=db.meter.snapshot(),
+        scheme_params=dict(spec.params),
     )
     if keep_db:
         return result, db

@@ -97,6 +97,12 @@ def run_result_to_dict(result: RunResult) -> dict:
     return {
         "label": result.label,
         "scheme": result.scheme,
+        "scheme_params": {
+            key: value
+            if isinstance(value, (bool, int, float, str, type(None)))
+            else repr(value)
+            for key, value in result.scheme_params.items()
+        },
         "operations": result.operations,
         "elapsed_virtual_s": result.elapsed_virtual_s,
         "ops_per_sec": result.ops_per_sec,

@@ -5,10 +5,14 @@ family; :func:`~repro.core.schemes.make_scheme` builds one by name.
 """
 
 from repro.core.codeword import fold_words, positioned_fold
+from repro.core.maintainer import CodewordMaintainer
+from repro.core.pipeline import ProtectionPipeline
 from repro.core.regions import CodewordTable
 from repro.core.schemes import (
     BaselineScheme,
+    CodewordSchemeBase,
     ProtectionScheme,
+    SCHEME_ALIASES,
     SCHEME_NAMES,
     make_scheme,
 )
@@ -23,7 +27,10 @@ __all__ = [
     "fold_words",
     "positioned_fold",
     "CodewordTable",
+    "CodewordMaintainer",
+    "ProtectionPipeline",
     "ProtectionScheme",
+    "CodewordSchemeBase",
     "BaselineScheme",
     "ReadPrecheckScheme",
     "DataCodewordScheme",
@@ -34,4 +41,5 @@ __all__ = [
     "AuditReport",
     "make_scheme",
     "SCHEME_NAMES",
+    "SCHEME_ALIASES",
 ]

@@ -15,6 +15,11 @@ The tradeoff implemented here:
 * a wild write is still detected, because it changes region content
   without contributing a pending delta.
 
+The delta buffer and flush logic live on the scheme's
+:class:`~repro.core.maintainer.CodewordMaintainer` (``deferred=True``), so
+a pipeline stacking this scheme defers maintenance for the whole shared
+table.
+
 This scheme is not a Table 2 row; it backs Ablation C in EXPERIMENTS.md.
 """
 
@@ -28,39 +33,19 @@ class DeferredMaintenanceScheme(DataCodewordScheme):
 
     name = "deferred"
     uses_codeword_latch = False  # deltas are applied in batch under audit latch
+    deferred_maintenance = True
 
     def __init__(self, region_size: int = 65536) -> None:
         super().__init__(region_size)
-        self._pending: dict[int, int] = {}
-        self.flush_count = 0
-
-    def _cw_apply(self, address: int, old_image: bytes, new_image: bytes) -> None:
-        assert self._table is not None and self.meter is not None
-        for region_id, delta, words in self._table.compute_deltas(
-            address, old_image, new_image
-        ):
-            self._pending[region_id] = self._pending.get(region_id, 0) ^ delta
-            self.meter.charge("cw_maint_word", words)
-            self.meter.charge("deferred_update")
 
     def flush_pending(self) -> int:
         """Apply accumulated deltas to the codeword table."""
-        assert self._table is not None and self.meter is not None
-        applied = 0
-        for region_id, delta in self._pending.items():
-            latch = self.protection_latches.latch(region_id)
-            with latch.exclusive():
-                self.meter.charge("latch_pair")
-                self._table.apply_delta(region_id, delta)
-                applied += 1
-        self._pending.clear()
-        self.flush_count += 1
-        return applied
+        return self.maintainer.flush_pending()
 
-    def audit_regions(self, region_ids=None) -> list[int]:
-        self.flush_pending()
-        return super().audit_regions(region_ids)
+    @property
+    def flush_count(self) -> int:
+        return self.maintainer.flush_count
 
     @property
     def pending_region_count(self) -> int:
-        return len(self._pending)
+        return self.maintainer.pending_region_count

@@ -34,6 +34,9 @@ class HardwareProtectionScheme(ProtectionScheme):
     name = "hardware"
     direct_protection = "prevent"
     indirect_protection = "unneeded"
+    # The pipeline brackets below-the-hooks writes (physical undo) with
+    # expose()/cover() for page-guarding members.
+    guards_pages = True
 
     def __init__(self, mprotect_costs: MprotectCosts = ULTRASPARC_MPROTECT) -> None:
         super().__init__()
@@ -53,30 +56,32 @@ class HardwareProtectionScheme(ProtectionScheme):
     # ---------------------------------------------------------- windows
 
     def on_begin_update(self, txn: Transaction, address: int, length: int) -> None:
-        self._expose(address, length)
+        self.expose(address, length)
 
     def on_end_update(
         self, txn: Transaction, address: int, old_image: bytes, new_image: bytes
     ) -> int | None:
-        self._cover(address, length=len(new_image))
+        self.cover(address, length=len(new_image))
         return None
 
     def close_update_window(self, txn: Transaction, address: int, length: int) -> None:
-        self._cover(address, length)
+        self.cover(address, length)
 
     def apply_physical_undo(self, txn: Transaction | None, entry: PhysicalUndo) -> None:
         """Rollback writes also go through an expose/cover pair."""
         assert self.memory is not None
-        self._expose(entry.address, len(entry.image))
+        self.expose(entry.address, len(entry.image))
         self.memory.write(entry.address, entry.image)
-        self._cover(entry.address, len(entry.image))
+        self.cover(entry.address, len(entry.image))
 
-    def _expose(self, address: int, length: int) -> None:
+    def expose(self, address: int, length: int) -> None:
+        """Unprotect the pages under a window (``beginUpdate``)."""
         assert self.mmu is not None and self.meter is not None
         self.mmu.mprotect(address, length, PROT_READWRITE)
         self.meter.charge("mprotect_workload_penalty")
 
-    def _cover(self, address: int, length: int) -> None:
+    def cover(self, address: int, length: int) -> None:
+        """Reprotect the pages under a window (``endUpdate``)."""
         assert self.mmu is not None and self.meter is not None
         self.mmu.mprotect(address, length, PROT_READ)
         self.meter.charge("mprotect_workload_penalty")

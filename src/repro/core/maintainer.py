@@ -1,0 +1,263 @@
+"""Shared codeword maintenance: one table, one latch set, many schemes.
+
+Every codeword scheme (Sections 3.1/3.2 and the deferred-maintenance
+extension) needs the same machinery: a :class:`CodewordTable`, per-region
+protection latches, optionally a codeword latch, window bookkeeping,
+incremental maintenance at ``end_update``, codeword-aware physical undo
+and the audit fold.  Before the pipeline refactor each
+:class:`~repro.core.schemes.CodewordSchemeBase` subclass owned a private
+copy of all of it; stacking two such schemes would have maintained two
+divergent tables over the same bytes.
+
+:class:`CodewordMaintainer` is that machinery extracted into one object.
+A bare scheme owns a private maintainer; a
+:class:`~repro.core.pipeline.ProtectionPipeline` builds a single shared
+maintainer from the folded policy of its codeword members (smallest
+region size, strictest latch mode) and makes every member adopt it, so a
+stack audits and maintains exactly one table.
+
+Every meter charge in this module is verbatim from the seed scheme code;
+the refactor is observably pure for Table 2 (property-tested by
+``tests/test_pipeline_equivalence.py``).
+"""
+
+from __future__ import annotations
+
+from repro.core.codeword import fold_words, word_count
+from repro.core.regions import CodewordTable
+from repro.mem.memory import MemoryImage
+from repro.sim.clock import Meter
+from repro.txn.latches import LatchTable, EXCLUSIVE, SHARED
+from repro.txn.transaction import Transaction
+from repro.wal.local_log import PhysicalUndo
+
+
+class CodewordMaintainer:
+    """Owns a codeword table plus its latches and cost accounting.
+
+    Parameters
+    ----------
+    region_size:
+        Bytes per protection region.
+    update_latch_mode:
+        Mode updaters hold the protection latch in for the whole update
+        window (``SHARED`` for audit-based schemes, ``EXCLUSIVE`` for
+        read prechecking, Section 3.1/3.2).
+    uses_codeword_latch:
+        Whether a separate codeword latch serializes the table update
+        (Section 3.2's large-region optimisation).
+    deferred:
+        Accumulate per-region XOR deltas instead of applying them inside
+        the window; :meth:`flush_pending` (called by every audit) applies
+        the batch under the protection latch.
+    """
+
+    def __init__(
+        self,
+        region_size: int,
+        *,
+        update_latch_mode: str = SHARED,
+        uses_codeword_latch: bool = True,
+        deferred: bool = False,
+    ) -> None:
+        self.region_size = region_size
+        self.update_latch_mode = update_latch_mode
+        self.uses_codeword_latch = uses_codeword_latch
+        self.deferred = deferred
+        self.memory: MemoryImage | None = None
+        self.meter: Meter | None = None
+        self.table: CodewordTable | None = None
+        self.protection_latches = LatchTable("protection")
+        self.codeword_latches = LatchTable("codeword")
+        self._pending: dict[int, int] = {}
+        self.flush_count = 0
+
+    def attach(self, memory: MemoryImage, meter: Meter) -> None:
+        """Bind to an image/meter; idempotent so shared adopters can all call it."""
+        if self.table is not None and self.memory is memory and self.meter is meter:
+            return
+        self.memory = memory
+        self.meter = meter
+        self.table = CodewordTable(memory, self.region_size)
+
+    def rebuild(self) -> None:
+        assert self.table is not None
+        self.table.rebuild_all()
+
+    @property
+    def space_overhead(self) -> float:
+        return self.table.space_overhead if self.table else 4.0 / self.region_size
+
+    # ---------------------------------------------------------- windows
+
+    def open_window(self, txn: Transaction, address: int, length: int) -> None:
+        """Latch every region the update window touches."""
+        assert self.table is not None and self.meter is not None
+        latches = []
+        for region_id in self.table.regions_spanning(address, length):
+            latch = self.protection_latches.latch(region_id)
+            latch.acquire(self.update_latch_mode)
+            self.meter.charge("latch_pair")
+            latches.append(latch)
+        txn.scheme_state.setdefault("window_latches", []).extend(latches)
+
+    def release_window(self, txn: Transaction) -> None:
+        for latch in txn.scheme_state.pop("window_latches", []):
+            latch.release()
+
+    def maintain(
+        self, txn: Transaction, address: int, old_image: bytes, new_image: bytes
+    ) -> None:
+        """Fold an in-place update into the codewords at ``end_update``."""
+        assert self.table is not None and self.meter is not None
+        if self.uses_codeword_latch:
+            for region_id in self.table.regions_spanning(address, len(old_image)):
+                latch = self.codeword_latches.latch(region_id)
+                with latch.exclusive():
+                    self.meter.charge("latch_pair")
+        self.apply_maintenance(address, old_image, new_image)
+
+    def apply_maintenance(
+        self, address: int, old_image: bytes, new_image: bytes
+    ) -> None:
+        """Immediate table update, or delta accumulation when deferred."""
+        assert self.table is not None and self.meter is not None
+        if self.deferred:
+            for region_id, delta, words in self.table.compute_deltas(
+                address, old_image, new_image
+            ):
+                self._pending[region_id] = self._pending.get(region_id, 0) ^ delta
+                self.meter.charge("cw_maint_word", words)
+                self.meter.charge("deferred_update")
+        else:
+            words = self.table.apply_update(address, old_image, new_image)
+            self.meter.charge("cw_maint_fixed")
+            self.meter.charge("cw_maint_word", words)
+
+    # ------------------------------------------------------------- undo
+
+    def apply_physical_undo(self, entry: PhysicalUndo) -> None:
+        """Restore a before-image, fixing the codeword iff it was applied.
+
+        If the update window never reached ``end_update``
+        (``codeword_applied`` False), the stored codeword still matches
+        the *old* content, so restoring it must leave the codeword alone
+        (Section 3.1).
+        """
+        assert self.table is not None and self.memory is not None
+        regions = self.table.regions_spanning(entry.address, len(entry.image))
+        latches = [self.protection_latches.latch(r) for r in regions]
+        for latch in latches:
+            latch.acquire(EXCLUSIVE)
+            self.meter.charge("latch_pair")
+        try:
+            if entry.codeword_applied:
+                current = self.memory.read(entry.address, len(entry.image))
+                self.apply_maintenance(entry.address, current, entry.image)
+            self.memory.write(entry.address, entry.image)
+        finally:
+            for latch in latches:
+                latch.release()
+
+    # --------------------------------------------------------- deferred
+
+    def flush_pending(self) -> int:
+        """Apply accumulated deltas to the codeword table."""
+        assert self.table is not None and self.meter is not None
+        applied = 0
+        for region_id, delta in self._pending.items():
+            latch = self.protection_latches.latch(region_id)
+            with latch.exclusive():
+                self.meter.charge("latch_pair")
+                self.table.apply_delta(region_id, delta)
+                applied += 1
+        self._pending.clear()
+        self.flush_count += 1
+        return applied
+
+    @property
+    def pending_region_count(self) -> int:
+        return len(self._pending)
+
+    # ------------------------------------------------------------ audit
+
+    def check_region(self, region_id: int) -> bool:
+        """Latch, charge and compare one region (read prechecking)."""
+        assert self.table is not None and self.meter is not None
+        latch = self.protection_latches.latch(region_id)
+        with latch.exclusive():
+            self.meter.charge("latch_pair")
+            _start, region_len = self.table.region_bounds(region_id)
+            self.meter.charge("cw_check_fixed")
+            self.meter.charge("cw_check_word", word_count(region_len))
+            return self.table.matches(region_id)
+
+    def audit_regions(self, region_ids=None) -> list[int]:
+        """Check codewords against content; returns mismatching regions.
+
+        The protection latch is taken in exclusive mode per region to get
+        a consistent view of region and codeword (Section 3.2).  A
+        deferred maintainer first flushes its pending deltas so the
+        stored codewords are current.
+
+        Fast path: when the regions form a contiguous range and no
+        protection latch is held (no update window or precheck in flight,
+        so latching cannot block and nothing can slip between checks), the
+        whole batch folds through the vectorized
+        :meth:`~repro.core.regions.CodewordTable.scan_mismatches` kernel.
+        The meter is charged the *same* event counts as the per-region
+        loop -- ``charge`` is linear, so bulk charging leaves every
+        Table 2 words-folded number unchanged.
+        """
+        assert self.table is not None and self.meter is not None
+        if self.deferred:
+            self.flush_pending()
+        table = self.table
+        ids = region_ids if region_ids is not None else range(table.region_count)
+        if (
+            isinstance(ids, range)
+            and ids.step == 1
+            and len(ids)
+            and ids.start >= 0
+            and ids.stop <= table.region_count
+            and not self.protection_latches.any_held()
+        ):
+            checked = len(ids)
+            # Every region folds word_count(region_size) words except the
+            # possibly ragged final region of the image.
+            words = checked * word_count(table.region_size)
+            last = table.region_count - 1
+            if ids.start <= last < ids.stop:
+                words += word_count(table.region_bounds(last)[1]) - word_count(
+                    table.region_size
+                )
+            self.meter.charge("latch_pair", checked)
+            self.meter.charge("cw_check_fixed", checked)
+            self.meter.charge("cw_check_word", words)
+            return table.scan_mismatches(ids)
+        corrupt = []
+        for region_id in ids:
+            latch = self.protection_latches.latch(region_id)
+            with latch.exclusive():
+                self.meter.charge("latch_pair")
+                _start, length = table.region_bounds(region_id)
+                self.meter.charge("cw_check_fixed")
+                self.meter.charge("cw_check_word", word_count(length))
+                if not table.matches(region_id):
+                    corrupt.append(region_id)
+        return corrupt
+
+    def checksum_of(self, data: bytes, charge: bool = True) -> int:
+        """Checksum a read value (used by read logging with codewords)."""
+        assert self.meter is not None
+        if charge:
+            self.meter.charge("checksum_word", word_count(len(data)))
+        return fold_words(data)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"CodewordMaintainer(region_size={self.region_size}, "
+            f"mode={self.update_latch_mode!r}, "
+            f"codeword_latch={self.uses_codeword_latch}, "
+            f"deferred={self.deferred})"
+        )

@@ -20,7 +20,6 @@ copying ``read`` + scalar loop.
 
 from __future__ import annotations
 
-from repro.core.codeword import word_count
 from repro.core.schemes import CodewordSchemeBase
 from repro.errors import CorruptionDetected
 from repro.txn.latches import EXCLUSIVE
@@ -36,6 +35,9 @@ class ReadPrecheckScheme(CodewordSchemeBase):
     # update too, so no separate codeword latch is needed.
     update_latch_mode = EXCLUSIVE
     uses_codeword_latch = False
+    # Reads compare against stored codewords, so maintenance must not be
+    # deferred (a stacked deferred member would make every read fail).
+    requires_fresh_codewords = True
 
     def __init__(self, region_size: int = 64) -> None:
         super().__init__(region_size)
@@ -54,27 +56,22 @@ class ReadPrecheckScheme(CodewordSchemeBase):
         check (or an audit) will catch anyway.  The cache is cleared at
         every operation boundary.
         """
-        assert self._table is not None and self.meter is not None
+        table = self.maintainer.table
+        assert table is not None
         checked: set[int] = txn.scheme_state.setdefault("checked_regions", set())
-        for region_id in self._table.regions_spanning(address, length):
+        for region_id in table.regions_spanning(address, length):
             if region_id in checked:
                 continue
             checked.add(region_id)
             self._check_region(region_id)
 
     def _check_region(self, region_id: int) -> None:
-        latch = self.protection_latches.latch(region_id)
-        with latch.exclusive():
-            self.meter.charge("latch_pair")
-            _start, region_len = self._table.region_bounds(region_id)
-            self.meter.charge("cw_check_fixed")
-            self.meter.charge("cw_check_word", word_count(region_len))
-            self.precheck_count += 1
-            # matches() folds a zero-copy view of the region (vectorized
-            # for large regions); the charges above are the cost model.
-            if not self._table.matches(region_id):
-                self.precheck_failures += 1
-                raise CorruptionDetected([region_id], context="read precheck")
+        self.precheck_count += 1
+        # check_region() folds a zero-copy view of the region under the
+        # exclusive protection latch and charges the cost-model events.
+        if not self.maintainer.check_region(region_id):
+            self.precheck_failures += 1
+            raise CorruptionDetected([region_id], context="read precheck")
 
     def on_operation_end(self, txn: Transaction) -> None:
         txn.scheme_state.pop("checked_regions", None)

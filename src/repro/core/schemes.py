@@ -8,18 +8,24 @@ protection requires and charges its costs to the shared meter.
 
 Scheme capability metadata mirrors the "Corruption: Direct / Indirect"
 columns of Table 2 of the paper.
+
+Since the pipeline refactor, codeword schemes no longer own the codeword
+machinery directly: each delegates to a
+:class:`~repro.core.maintainer.CodewordMaintainer`, so a
+:class:`~repro.core.pipeline.ProtectionPipeline` can substitute one
+*shared* maintainer for a whole stack (``make_scheme("data_cw+read_logging")``).
 """
 
 from __future__ import annotations
 
 from abc import ABC
 
-from repro.core.codeword import fold_words, word_count
+from repro.core.maintainer import CodewordMaintainer
 from repro.core.regions import CodewordTable
 from repro.errors import ConfigError
 from repro.mem.memory import MemoryImage
 from repro.sim.clock import Meter
-from repro.txn.latches import LatchTable, EXCLUSIVE, SHARED
+from repro.txn.latches import LatchTable, SHARED
 from repro.txn.transaction import Transaction
 from repro.wal.local_log import PhysicalUndo
 
@@ -29,10 +35,19 @@ class ProtectionScheme(ABC):
 
     name = "abstract"
     direct_protection = "none"    # "none" | "detect" | "prevent"
-    indirect_protection = "none"  # "none" | "prevent" | "detect+correct"
+    indirect_protection = "none"  # "none" | "prevent" | "detect+correct" | "unneeded"
     uses_codewords = False
     logs_reads = False
     logs_read_checksums = False
+    #: True when the configuration carries both audit-based and
+    #: checksum-based corruption evidence (only pipelines set this).
+    combines_evidence = False
+    #: True for schemes that keep pages write-protected outside windows
+    #: (the pipeline must expose pages before writing below the hooks).
+    guards_pages = False
+    #: True for schemes whose reads require up-to-date stored codewords
+    #: (incompatible with deferred maintenance in a stack).
+    requires_fresh_codewords = False
 
     def __init__(self) -> None:
         self.memory: MemoryImage | None = None
@@ -107,11 +122,15 @@ class BaselineScheme(ProtectionScheme):
 
 
 class CodewordSchemeBase(ProtectionScheme):
-    """Shared machinery for every codeword-maintaining scheme.
+    """Shared behaviour for every codeword-maintaining scheme.
 
-    Owns the codeword table and the per-region protection latches, and
-    implements incremental maintenance at ``end_update`` plus
-    codeword-aware physical undo.
+    The actual machinery -- codeword table, protection/codeword latches,
+    window bookkeeping, maintenance, codeword-aware undo and the audit
+    fold -- lives in a :class:`CodewordMaintainer`.  A bare scheme owns a
+    private maintainer configured from its class policy; when stacked in
+    a :class:`~repro.core.pipeline.ProtectionPipeline`, members
+    :meth:`adopt_maintainer` one shared instance instead so the stack
+    keeps a single table and latch set.
     """
 
     uses_codewords = True
@@ -120,158 +139,77 @@ class CodewordSchemeBase(ProtectionScheme):
     update_latch_mode = SHARED
     # Whether a separate codeword latch guards the table (Section 3.2).
     uses_codeword_latch = True
+    # Whether maintenance is batched until audit time (deferred extension).
+    deferred_maintenance = False
 
     def __init__(self, region_size: int) -> None:
         super().__init__()
-        self.region_size = region_size
-        self._table: CodewordTable | None = None
-        self.protection_latches = LatchTable("protection")
-        self.codeword_latches = LatchTable("codeword")
+        self.maintainer = CodewordMaintainer(
+            region_size,
+            update_latch_mode=self.update_latch_mode,
+            uses_codeword_latch=self.uses_codeword_latch,
+            deferred=self.deferred_maintenance,
+        )
+
+    def adopt_maintainer(self, maintainer: CodewordMaintainer) -> None:
+        """Replace the private maintainer with a pipeline-shared one."""
+        self.maintainer = maintainer
+
+    @property
+    def region_size(self) -> int:
+        return self.maintainer.region_size
+
+    @property
+    def protection_latches(self) -> LatchTable:
+        return self.maintainer.protection_latches
+
+    @property
+    def codeword_latches(self) -> LatchTable:
+        return self.maintainer.codeword_latches
 
     def attach(self, memory: MemoryImage, meter: Meter) -> None:
         super().attach(memory, meter)
-        self._table = CodewordTable(memory, self.region_size)
+        self.maintainer.attach(memory, meter)
 
     def startup(self) -> None:
-        assert self._table is not None
-        self._table.rebuild_all()
+        self.maintainer.rebuild()
 
     @property
     def codeword_table(self) -> CodewordTable | None:
-        return self._table
+        return self.maintainer.table
 
     @property
     def space_overhead(self) -> float:
-        return self._table.space_overhead if self._table else 4.0 / self.region_size
+        return self.maintainer.space_overhead
 
     # ---------------------------------------------------------- windows
 
     def on_begin_update(self, txn: Transaction, address: int, length: int) -> None:
-        assert self._table is not None and self.meter is not None
-        latches = []
-        for region_id in self._table.regions_spanning(address, length):
-            latch = self.protection_latches.latch(region_id)
-            latch.acquire(self.update_latch_mode)
-            self.meter.charge("latch_pair")
-            latches.append(latch)
-        txn.scheme_state.setdefault("window_latches", []).extend(latches)
+        self.maintainer.open_window(txn, address, length)
 
     def on_end_update(
         self, txn: Transaction, address: int, old_image: bytes, new_image: bytes
     ) -> int | None:
-        assert self._table is not None and self.meter is not None
-        checksum = self._maintain(txn, address, old_image, new_image)
-        self._release_window_latches(txn)
-        return checksum
-
-    def _maintain(
-        self, txn: Transaction, address: int, old_image: bytes, new_image: bytes
-    ) -> int | None:
-        """Update codewords for an in-place update; returns optional checksum."""
-        if self.uses_codeword_latch:
-            for region_id in self._table.regions_spanning(address, len(old_image)):
-                latch = self.codeword_latches.latch(region_id)
-                with latch.exclusive():
-                    self.meter.charge("latch_pair")
-        self._cw_apply(address, old_image, new_image)
+        self.maintainer.maintain(txn, address, old_image, new_image)
+        self.maintainer.release_window(txn)
         return None
 
-    def _cw_apply(self, address: int, old_image: bytes, new_image: bytes) -> None:
-        """Fold an update into the codeword table (overridden by deferred)."""
-        words = self._table.apply_update(address, old_image, new_image)
-        self.meter.charge("cw_maint_fixed")
-        self.meter.charge("cw_maint_word", words)
-
     def close_update_window(self, txn: Transaction, address: int, length: int) -> None:
-        self._release_window_latches(txn)
-
-    def _release_window_latches(self, txn: Transaction) -> None:
-        for latch in txn.scheme_state.pop("window_latches", []):
-            latch.release()
+        self.maintainer.release_window(txn)
 
     # ------------------------------------------------------------- undo
 
     def apply_physical_undo(self, txn: Transaction | None, entry: PhysicalUndo) -> None:
-        """Restore a before-image, fixing the codeword iff it was applied.
-
-        If the update window never reached ``end_update``
-        (``codeword_applied`` False), the stored codeword still matches the
-        *old* content, so restoring it must leave the codeword alone
-        (Section 3.1).
-        """
-        assert self._table is not None and self.memory is not None
-        regions = self._table.regions_spanning(entry.address, len(entry.image))
-        latches = [self.protection_latches.latch(r) for r in regions]
-        for latch in latches:
-            latch.acquire(EXCLUSIVE)
-            self.meter.charge("latch_pair")
-        try:
-            if entry.codeword_applied:
-                current = self.memory.read(entry.address, len(entry.image))
-                self._cw_apply(entry.address, current, entry.image)
-            self.memory.write(entry.address, entry.image)
-        finally:
-            for latch in latches:
-                latch.release()
+        self.maintainer.apply_physical_undo(entry)
 
     # ------------------------------------------------------------ audit
 
     def audit_regions(self, region_ids=None) -> list[int]:
-        """Check codewords against content; returns mismatching regions.
-
-        The protection latch is taken in exclusive mode per region to get
-        a consistent view of region and codeword (Section 3.2).
-
-        Fast path: when the regions form a contiguous range and no
-        protection latch is held (no update window or precheck in flight,
-        so latching cannot block and nothing can slip between checks), the
-        whole batch folds through the vectorized
-        :meth:`~repro.core.regions.CodewordTable.scan_mismatches` kernel.
-        The meter is charged the *same* event counts as the per-region
-        loop -- ``charge`` is linear, so bulk charging leaves every
-        Table 2 words-folded number unchanged.
-        """
-        assert self._table is not None and self.meter is not None
-        table = self._table
-        ids = region_ids if region_ids is not None else range(table.region_count)
-        if (
-            isinstance(ids, range)
-            and ids.step == 1
-            and len(ids)
-            and ids.start >= 0
-            and ids.stop <= table.region_count
-            and not self.protection_latches.any_held()
-        ):
-            checked = len(ids)
-            # Every region folds word_count(region_size) words except the
-            # possibly ragged final region of the image.
-            words = checked * word_count(table.region_size)
-            last = table.region_count - 1
-            if ids.start <= last < ids.stop:
-                words += word_count(table.region_bounds(last)[1]) - word_count(
-                    table.region_size
-                )
-            self.meter.charge("latch_pair", checked)
-            self.meter.charge("cw_check_fixed", checked)
-            self.meter.charge("cw_check_word", words)
-            return table.scan_mismatches(ids)
-        corrupt = []
-        for region_id in ids:
-            latch = self.protection_latches.latch(region_id)
-            with latch.exclusive():
-                self.meter.charge("latch_pair")
-                _start, length = table.region_bounds(region_id)
-                self.meter.charge("cw_check_fixed")
-                self.meter.charge("cw_check_word", word_count(length))
-                if not table.matches(region_id):
-                    corrupt.append(region_id)
-        return corrupt
+        return self.maintainer.audit_regions(region_ids)
 
     def checksum_of(self, data: bytes, charge: bool = True) -> int:
         """Checksum a read value (used by read logging with codewords)."""
-        if charge:
-            self.meter.charge("checksum_word", word_count(len(data)))
-        return fold_words(data)
+        return self.maintainer.checksum_of(data, charge)
 
 
 SCHEME_NAMES = (
@@ -284,20 +222,40 @@ SCHEME_NAMES = (
     "deferred",
 )
 
+#: Accepted spellings that map onto canonical :data:`SCHEME_NAMES`.
+SCHEME_ALIASES = {
+    "data_codeword": "data_cw",
+    "codeword": "data_cw",
+    "read_precheck": "precheck",
+    "memory_protection": "hardware",
+}
 
-def make_scheme(name: str, **params) -> ProtectionScheme:
-    """Build a protection scheme by name.
+#: Keyword parameters each scheme understands.  Used when a stacked config
+#: distributes one shared ``scheme_params`` dict across its members.
+SCHEME_PARAMS: dict[str, frozenset[str]] = {
+    "baseline": frozenset(),
+    "data_cw": frozenset({"region_size"}),
+    "precheck": frozenset({"region_size"}),
+    "read_logging": frozenset({"region_size", "log_checksums"}),
+    "cw_read_logging": frozenset({"region_size", "log_checksums"}),
+    "hardware": frozenset({"mprotect_costs"}),
+    "deferred": frozenset({"region_size"}),
+}
 
-    Parameters
-    ----------
-    name:
-        One of :data:`SCHEME_NAMES`.
-    params:
-        ``region_size`` for codeword schemes (default 64 for ``precheck``,
-        65536 for audit-based schemes); ``platform`` (a
-        :class:`~repro.bench.platforms.PlatformProfile`) or
-        ``mprotect_costs`` for ``hardware``.
-    """
+
+def resolve_scheme_name(name: str) -> str:
+    """Canonicalise a scheme name, raising a helpful :class:`ConfigError`."""
+    canonical = SCHEME_ALIASES.get(name, name)
+    if canonical not in SCHEME_NAMES:
+        valid = ", ".join(SCHEME_NAMES)
+        raise ConfigError(
+            f"unknown protection scheme {name!r}; valid schemes: {valid}"
+            " (stack schemes with '+', e.g. 'data_cw+read_logging')"
+        )
+    return canonical
+
+
+def _make_single(name: str, **params) -> ProtectionScheme:
     from repro.core.data_codeword import DataCodewordScheme
     from repro.core.deferred import DeferredMaintenanceScheme
     from repro.core.hardware import HardwareProtectionScheme
@@ -324,8 +282,57 @@ def make_scheme(name: str, **params) -> ProtectionScheme:
         )
     if name == "hardware":
         return HardwareProtectionScheme(**params)
-    if name == "deferred":
-        return DeferredMaintenanceScheme(
-            region_size=params.pop("region_size", 65536), **params
-        )
-    raise ConfigError(f"unknown protection scheme {name!r}; choose from {SCHEME_NAMES}")
+    assert name == "deferred"
+    return DeferredMaintenanceScheme(region_size=params.pop("region_size", 65536), **params)
+
+
+def make_scheme(name: str, **params) -> ProtectionScheme:
+    """Build a protection scheme (or a stacked pipeline of them) by name.
+
+    Parameters
+    ----------
+    name:
+        One of :data:`SCHEME_NAMES` (or an alias from
+        :data:`SCHEME_ALIASES`), or several joined with ``+`` -- e.g.
+        ``"data_codeword+read_logging"`` -- to build a
+        :class:`~repro.core.pipeline.ProtectionPipeline` whose codeword
+        members share a single table and latch set.
+    params:
+        ``region_size`` for codeword schemes (default 64 for ``precheck``,
+        65536 for audit-based schemes); ``log_checksums`` for the read
+        logging schemes; ``mprotect_costs`` for ``hardware``.  For a
+        stacked name, each parameter is routed to every member that
+        understands it; a parameter no member understands is an error.
+    """
+    if "+" in name:
+        from repro.core.pipeline import ProtectionPipeline
+
+        member_names = [part.strip() for part in name.split("+")]
+        if any(not part for part in member_names):
+            raise ConfigError(
+                f"malformed stacked scheme name {name!r}: empty member between '+'"
+            )
+        canonical = [resolve_scheme_name(part) for part in member_names]
+        duplicates = {n for n in canonical if canonical.count(n) > 1}
+        if duplicates:
+            raise ConfigError(
+                f"stacked scheme {name!r} repeats member(s) {sorted(duplicates)}"
+            )
+        accepted: set[str] = set()
+        members = []
+        for member in canonical:
+            member_params = {
+                key: value
+                for key, value in params.items()
+                if key in SCHEME_PARAMS[member]
+            }
+            accepted.update(member_params)
+            members.append(_make_single(member, **member_params))
+        unknown = set(params) - accepted
+        if unknown:
+            raise ConfigError(
+                f"scheme parameters {sorted(unknown)} not understood by any "
+                f"member of stacked scheme {name!r}"
+            )
+        return ProtectionPipeline(members)
+    return _make_single(resolve_scheme_name(name), **params)

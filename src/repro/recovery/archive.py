@@ -106,6 +106,11 @@ def recover_from_archive(
     db._build_layout()
     db._open_log_and_manager()
 
+    # Whether evidence kinds combine is a property of the protection
+    # stack, not of the logged amendment (the AmendRecord codec predates
+    # pipelines); derive it from the scheme like use_checksums originally
+    # was at note-load time.
+    combine = bool(getattr(db.scheme, "combines_evidence", False))
     contexts: list[CorruptionContext] = []
     for lsn, record in db.system_log.scan(0):
         if isinstance(record, AmendRecord) and lsn >= info.ck_end:
@@ -117,6 +122,7 @@ def recover_from_archive(
                     reads_traced=True,
                     from_amendment=True,
                     root_txns=tuple(record.root_txns),
+                    combine_evidence=record.use_checksums and combine,
                 )
             )
     live = load_corruption_note(db)

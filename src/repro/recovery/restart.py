@@ -22,6 +22,16 @@ corrupt transaction's undone operations recruit their transaction; at
 checksummed read logs the CorruptDataTable is dispensed with entirely:
 a logged checksum that does not match the recovering image recruits the
 reader, which yields a *view-consistent* delete history.
+
+A stacked configuration carrying *both* evidence kinds (an audit-only
+codeword member plus checksummed read logging,
+``scheme="data_cw+cw_read_logging"``) runs in **combined** mode: checksum
+comparison recruits precisely where a checksum exists, and the
+audit-populated CorruptDataTable recruits conservatively at region
+granularity as well.  The union costs nothing in soundness (recruitment
+is always conservative) and covers the XOR blind spot of pure checksums:
+corruption whose words fold to the original checksum is invisible to the
+comparison but still lands in the CDT via the failed audit's note.
 """
 
 from __future__ import annotations
@@ -74,6 +84,11 @@ class CorruptionContext:
     #: their taint is traced through the read log exactly like physical
     #: corruption.
     root_txns: tuple[int, ...] = ()
+    #: True when the protection stack carries both audit-based and
+    #: checksum-based evidence (``ProtectionPipeline.combines_evidence``):
+    #: the scan then unions checksum-mismatch recruitment with the
+    #: audit-populated CorruptDataTable instead of choosing one.
+    combine_evidence: bool = False
 
 
 def load_corruption_note(db: "Database") -> CorruptionContext | None:
@@ -88,6 +103,7 @@ def load_corruption_note(db: "Database") -> CorruptionContext | None:
     path = db.path(CORRUPTION_NOTE_FILE)
     use_checksums = bool(getattr(db.scheme, "logs_read_checksums", False))
     reads_traced = bool(getattr(db.scheme, "logs_reads", False))
+    combine = bool(getattr(db.scheme, "combines_evidence", False))
     if os.path.exists(path):
         with open(path) as handle:
             note = json.load(handle)
@@ -96,8 +112,12 @@ def load_corruption_note(db: "Database") -> CorruptionContext | None:
             audit_sn=int(note["audit_sn"]),
             use_checksums=use_checksums,
             reads_traced=reads_traced,
+            combine_evidence=combine,
         )
     if use_checksums:
+        # No note, but reads carry checksums: run the scan anyway (it is
+        # the only way to catch corruption after the last audit).  There
+        # are no audit ranges to combine with on this path.
         return CorruptionContext(
             corrupt_ranges=(), audit_sn=0, use_checksums=True, reads_traced=True
         )
@@ -152,7 +172,10 @@ class CorruptDataTable:
 class RecoveryReport:
     """What recovery did; returned by :meth:`Database.recover`."""
 
-    mode: str  # "normal" | "delete-transaction" | "delete-transaction-view"
+    #: "normal" | "delete-transaction" | "delete-transaction-view" |
+    #: "delete-transaction-combined" | "delete-transaction-writes-only" |
+    #: "delete-transaction-logical"
+    mode: str
     ck_end: int
     audit_sn: int
     redo_applied: int = 0
@@ -219,12 +242,15 @@ class RestartRecovery:
             self.root_txns.update(context.root_txns)
         if contexts:
             self.use_checksums = any(c.use_checksums for c in contexts)
+            self.combine = any(c.combine_evidence for c in contexts)
             reads_traced = all(c.reads_traced for c in contexts)
             only_logical = bool(self.root_txns) and not any(
                 c.corrupt_ranges or c.use_checksums for c in contexts
             )
             if only_logical:
                 mode = "delete-transaction-logical"
+            elif self.use_checksums and self.combine:
+                mode = "delete-transaction-combined"
             elif self.use_checksums:
                 mode = "delete-transaction-view"
             elif reads_traced:
@@ -238,6 +264,7 @@ class RestartRecovery:
                 mode = "delete-transaction-writes-only"
         else:
             self.use_checksums = False
+            self.combine = False
             mode = "normal"
         self.report = RecoveryReport(
             mode=mode,
@@ -248,6 +275,15 @@ class RestartRecovery:
     @property
     def corruption_mode(self) -> bool:
         return bool(self.contexts)
+
+    @property
+    def _track_cdt(self) -> bool:
+        """Whether the CorruptDataTable participates in this scan.
+
+        Pure checksum mode dispenses with it (Section 4.3); combined mode
+        keeps it alongside the checksum comparison.
+        """
+        return not self.use_checksums or self.combine
 
     # --------------------------------------------------------------- run
 
@@ -288,7 +324,7 @@ class RestartRecovery:
             return
         self._unseeded = [c for c in self._unseeded if c.audit_sn > lsn]
         for context in due:
-            if context.use_checksums:
+            if context.use_checksums and not context.combine_evidence:
                 continue  # checksums replace the CorruptDataTable entirely
             for start, length in context.corrupt_ranges:
                 self.cdt.add(start, length)
@@ -381,17 +417,20 @@ class RestartRecovery:
     def _on_update(self, record: UpdateRecord) -> None:
         rec = self._get_txn(record.txn_id)
         if self.corruption_mode and not rec.corrupt:
-            if self.use_checksums:
-                if record.old_checksum is not None:
-                    current = self.db.memory.read(record.address, record.length)
-                    if fold_words(current) != record.old_checksum:
-                        self._recruit(rec, "write checksum mismatch")
-            elif self.cdt.overlaps(record.address, record.length):
+            if self.use_checksums and record.old_checksum is not None:
+                current = self.db.memory.read(record.address, record.length)
+                if fold_words(current) != record.old_checksum:
+                    self._recruit(rec, "write checksum mismatch")
+            if (
+                not rec.corrupt
+                and self._track_cdt
+                and self.cdt.overlaps(record.address, record.length)
+            ):
                 self._recruit(rec, "wrote data marked corrupt")
         if self.corruption_mode and rec.corrupt:
             # Suppress the write; everything it would have produced is
             # corrupt data.
-            if not self.use_checksums:
+            if self._track_cdt:
                 self.cdt.add(record.address, record.length)
             self.report.writes_suppressed += 1
             return
@@ -410,12 +449,12 @@ class RestartRecovery:
         rec = self._get_txn(record.txn_id)
         if rec.corrupt:
             return
-        if self.use_checksums:
-            if record.checksum is not None:
-                current = self.db.memory.read(record.address, record.length)
-                if fold_words(current) != record.checksum:
-                    self._recruit(rec, "read checksum mismatch")
-        elif self.cdt.overlaps(record.address, record.length):
+        if self.use_checksums and record.checksum is not None:
+            current = self.db.memory.read(record.address, record.length)
+            if fold_words(current) != record.checksum:
+                self._recruit(rec, "read checksum mismatch")
+                return
+        if self._track_cdt and self.cdt.overlaps(record.address, record.length):
             self._recruit(rec, "read data marked corrupt")
 
     def _on_op_begin(self, record: OpBeginRecord) -> None:

@@ -29,6 +29,7 @@ import os
 from dataclasses import dataclass, field as dc_field
 
 from repro.core.audit import AuditReport, Auditor
+from repro.core.pipeline import ProtectionPipeline
 from repro.core.schemes import ProtectionScheme, make_scheme
 from repro.errors import ConfigError, ReproError, TransactionError
 from repro.mem.allocator import SlotAllocator
@@ -83,8 +84,14 @@ class Database:
         self.clock = VirtualClock()
         self.meter = Meter(self.clock, config.costs)
         self.memory = MemoryImage(page_size=config.page_size)
-        self.scheme: ProtectionScheme = make_scheme(
-            config.scheme, **dict(config.scheme_params)
+        # Every config -- single scheme or "+"-stacked -- is normalised to
+        # one ProtectionPipeline; the manager, auditor and recovery layers
+        # dispatch to the pipeline object only.
+        built = make_scheme(config.scheme, **dict(config.scheme_params))
+        self.pipeline: ProtectionPipeline = (
+            built
+            if isinstance(built, ProtectionPipeline)
+            else ProtectionPipeline([built])
         )
         self.locks = LockManager()
         self.system_log: SystemLog | None = None
@@ -101,6 +108,17 @@ class Database:
 
             self.history = HistoryRecorder()
         self.stats = {"reads": 0, "writes": 0}
+
+    @property
+    def scheme(self) -> ProtectionScheme:
+        """The protection configuration seen through the hook interface.
+
+        For a single-scheme config this is the bare scheme object (so
+        scheme-specific surfaces like ``precheck_count`` or ``mmu`` stay
+        reachable); for a stacked config it is the pipeline itself, whose
+        capability metadata is the fold over its members.
+        """
+        return self.pipeline.sole or self.pipeline
 
     # ------------------------------------------------------------ setup
 
@@ -137,7 +155,7 @@ class Database:
         self._build_layout()
         self._write_catalog()
         self._open_log_and_manager()
-        self.scheme.startup()
+        self.pipeline.startup()
         self._format_structures()
         # Everything is dirty with respect to both checkpoint images.
         self.memory.dirty_pages.mark_all_dirty(self.memory.iter_pages())
@@ -216,17 +234,17 @@ class Database:
                 allocator=allocator,
                 index=index,
             )
-        self.scheme.attach(self.memory, self.meter)
+        self.pipeline.attach(self.memory, self.meter)
 
     def _open_log_and_manager(self) -> None:
         from repro.recovery.checkpoint import Checkpointer
 
         self.system_log = SystemLog(os.path.join(self.config.dir, LOG_FILE), self.meter)
         self.manager = TransactionManager(
-            self.memory, self.system_log, self.locks, self.scheme, self.meter
+            self.memory, self.system_log, self.locks, self.pipeline, self.meter
         )
         self.manager.undo_executor = self._dispatch_logical_undo
-        self.auditor = Auditor(self.system_log, self.scheme)
+        self.auditor = Auditor(self.system_log, self.pipeline)
         self.checkpointer = Checkpointer(self)
 
     def _format_structures(self) -> None:

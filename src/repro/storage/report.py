@@ -32,6 +32,7 @@ def status_report(db: "Database") -> dict:
     report = {
         "scheme": {
             "name": scheme.name,
+            "members": [member.name for member in db.pipeline.members],
             "direct_protection": scheme.direct_protection,
             "indirect_protection": scheme.indirect_protection,
             "region_size": getattr(scheme, "region_size", None),

@@ -8,6 +8,11 @@ hook these three points; anything that writes memory without them (a wild
 write through :meth:`~repro.mem.memory.MemoryImage.poke`) is by definition
 an addressing error.
 
+The manager dispatches only to the hook interface, never to a concrete
+scheme: since the pipeline refactor the object handed in by ``Database``
+is a :class:`~repro.core.pipeline.ProtectionPipeline`, which fans each
+hook out across its (possibly stacked) members.
+
 Multi-level structure follows Section 2.1: physical updates (level 0)
 happen inside operations (level >= 1) which happen inside transactions.
 On operation commit the operation's redo records move from the local redo

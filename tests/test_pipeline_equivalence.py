@@ -1,0 +1,153 @@
+"""Single-member pipeline == bare scheme, meter-identical, property-tested.
+
+The pipeline refactor routes every ``DBConfig`` -- stacked or not --
+through one :class:`~repro.core.pipeline.ProtectionPipeline`.  That is
+only safe if wrapping a bare scheme changes *nothing observable*: the
+same hook sequence must charge the same meter events, advance virtual
+time by the same nanoseconds, and leave memory and codewords in the same
+state.  This property holds for every scheme name across random
+hook-level workloads (reads, update windows, abandoned windows, physical
+undo replay, operation ends and audits).
+"""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core import ProtectionPipeline
+from repro.core.schemes import SCHEME_NAMES, make_scheme
+from repro.mem.memory import MemoryImage
+from repro.sim.clock import Meter, VirtualClock
+from repro.sim.costs import DEFAULT_COSTS
+from repro.txn.transaction import Transaction
+from repro.wal.local_log import PhysicalUndo
+
+PAGE = 8
+SEGMENTS = (300, 212)
+SIZE = sum(SEGMENTS)
+
+#: Params mirroring the Table 2 configurations; hardware/baseline take none.
+SCHEME_PARAMS = {
+    "data_cw": {"region_size": 64},
+    "precheck": {"region_size": 64},
+    "read_logging": {"region_size": 64},
+    "cw_read_logging": {"region_size": 64},
+    "deferred": {"region_size": 64},
+}
+
+windows = st.tuples(
+    st.integers(min_value=0, max_value=SIZE - 1),
+    st.integers(min_value=1, max_value=24),
+    st.integers(min_value=1, max_value=255),
+)
+operations = st.lists(
+    st.one_of(
+        st.tuples(st.just("read"), windows),
+        st.tuples(st.just("update"), windows),
+        st.tuples(st.just("abandon"), windows),
+        st.tuples(st.just("undo"), windows),
+        st.tuples(st.just("op_end"), windows),
+        st.tuples(st.just("audit"), windows),
+    ),
+    min_size=1,
+    max_size=24,
+)
+
+
+def build_side(scheme_name: str, wrap: bool):
+    scheme = make_scheme(scheme_name, **SCHEME_PARAMS.get(scheme_name, {}))
+    if wrap:
+        scheme = ProtectionPipeline([scheme])
+    memory = MemoryImage(page_size=PAGE)
+    for index, size in enumerate(SEGMENTS):
+        memory.add_segment(f"s{index}", size, kind="data" if index else "control")
+    memory.restore(0, bytes((7 * i + 3) % 256 for i in range(memory.size)))
+    meter = Meter(VirtualClock(), DEFAULT_COSTS)
+    scheme.attach(memory, meter)
+    scheme.startup()
+    return scheme, memory, meter
+
+
+def drive(scheme, memory, ops):
+    """Replay one hook-level workload against a scheme or pipeline."""
+    txn = Transaction(1)
+    completed: list[PhysicalUndo] = []
+    seq = 0
+    for kind, (address, length, fill) in ops:
+        length = min(length, memory.size - address)
+        if kind == "read":
+            scheme.on_read(txn, address, length)
+            memory.read(address, length)
+        elif kind == "update":
+            scheme.on_begin_update(txn, address, length)
+            old = memory.read(address, length)
+            new = bytes((b + fill) % 256 for b in old)
+            memory.write(address, new)
+            scheme.on_end_update(txn, address, old, new)
+            completed.append(
+                PhysicalUndo(
+                    seq=seq,
+                    op_id=1,
+                    address=address,
+                    image=old,
+                    codeword_applied=True,
+                )
+            )
+            seq += 1
+        elif kind == "abandon":
+            # An error path: the window opens, bytes are scribbled, and
+            # the manager rolls back with codeword_applied=False.
+            scheme.on_begin_update(txn, address, length)
+            old = memory.read(address, length)
+            memory.write(address, bytes((b ^ fill) % 256 for b in old))
+            scheme.close_update_window(txn, address, length)
+            scheme.apply_physical_undo(
+                txn,
+                PhysicalUndo(
+                    seq=seq,
+                    op_id=1,
+                    address=address,
+                    image=old,
+                    codeword_applied=False,
+                ),
+            )
+            seq += 1
+        elif kind == "undo" and completed:
+            scheme.apply_physical_undo(txn, completed.pop())
+        elif kind == "op_end":
+            scheme.on_operation_end(txn)
+        elif kind == "audit":
+            assert scheme.audit_regions() == []
+
+
+@pytest.mark.parametrize("scheme_name", SCHEME_NAMES)
+class TestSingleMemberPipelineEquivalence:
+    @settings(max_examples=40, deadline=None)
+    @given(ops=operations)
+    def test_meter_identical_to_bare_scheme(self, scheme_name, ops):
+        bare, bare_memory, bare_meter = build_side(scheme_name, wrap=False)
+        piped, piped_memory, piped_meter = build_side(scheme_name, wrap=True)
+
+        drive(bare, bare_memory, ops)
+        drive(piped, piped_memory, ops)
+
+        # Same events, same counts, same virtual nanoseconds.
+        assert piped_meter.snapshot() == bare_meter.snapshot()
+        assert piped_meter.clock.now_ns == bare_meter.clock.now_ns
+        # Same bytes and (where applicable) the same codewords.
+        assert piped_memory.read(0, SIZE) == bare_memory.read(0, SIZE)
+        if bare.uses_codewords:
+            assert piped.audit_regions() == bare.audit_regions() == []
+
+    def test_folded_capabilities_match_bare_scheme(self, scheme_name):
+        bare = make_scheme(scheme_name, **SCHEME_PARAMS.get(scheme_name, {}))
+        piped = ProtectionPipeline(
+            [make_scheme(scheme_name, **SCHEME_PARAMS.get(scheme_name, {}))]
+        )
+        assert piped.name == bare.name
+        assert piped.uses_codewords == bare.uses_codewords
+        assert piped.logs_reads == bare.logs_reads
+        assert piped.logs_read_checksums == bare.logs_read_checksums
+        assert piped.direct_protection == bare.direct_protection
+        assert piped.indirect_protection == bare.indirect_protection
+        assert not piped.combines_evidence
+        assert piped.space_overhead == bare.space_overhead
