@@ -32,6 +32,38 @@ from repro.txn.transaction import Transaction
 from repro.wal.local_log import PhysicalUndo
 
 
+def _contiguous_runs(ids, region_count: int):
+    """Group region ids into maximal ``[start, stop)`` runs.
+
+    Accepts a step-1 :class:`range` or a strictly ascending list/tuple of
+    in-bounds ids (what dirty-region audits pass); returns ``None`` for
+    anything else, sending the caller to the scalar per-region loop.
+    """
+    if isinstance(ids, range):
+        if ids.step != 1:
+            return None
+        if not len(ids):
+            return []
+        if ids.start < 0 or ids.stop > region_count:
+            return None
+        return [(ids.start, ids.stop)]
+    if not isinstance(ids, (list, tuple)):
+        return None
+    runs: list[tuple[int, int]] = []
+    previous = None
+    for region_id in ids:
+        if not isinstance(region_id, int) or not 0 <= region_id < region_count:
+            return None
+        if previous is not None and region_id <= previous:
+            return None
+        if runs and region_id == previous + 1:
+            runs[-1] = (runs[-1][0], region_id + 1)
+        else:
+            runs.append((region_id, region_id + 1))
+        previous = region_id
+    return runs
+
+
 class CodewordMaintainer:
     """Owns a codeword table plus its latches and cost accounting.
 
@@ -71,6 +103,13 @@ class CodewordMaintainer:
         self.codeword_latches = LatchTable("codeword")
         self._pending: dict[int, int] = {}
         self.flush_count = 0
+        #: Regions touched through the prescribed interface since they
+        #: were last verified by a clean audit.  Fed by maintenance and
+        #: physical undo; consumed by dirty-region incremental audits.
+        #: A wild write (``poke``) bypasses the hooks and so never lands
+        #: here -- that asymmetry is exactly what makes periodic full
+        #: sweeps a correctness requirement, not an optimisation.
+        self.dirty_regions: set[int] = set()
 
     def attach(self, memory: MemoryImage, meter: Meter) -> None:
         """Bind to an image/meter; idempotent so shared adopters can all call it."""
@@ -83,6 +122,9 @@ class CodewordMaintainer:
     def rebuild(self) -> None:
         assert self.table is not None
         self.table.rebuild_all()
+        # Freshly recomputed codewords match memory by construction;
+        # nothing is awaiting verification.
+        self.dirty_regions.clear()
 
     @property
     def space_overhead(self) -> float:
@@ -122,6 +164,9 @@ class CodewordMaintainer:
     ) -> None:
         """Immediate table update, or delta accumulation when deferred."""
         assert self.table is not None and self.meter is not None
+        self.dirty_regions.update(
+            self.table.regions_spanning(address, len(old_image))
+        )
         if self.deferred:
             for region_id, delta, words in self.table.compute_deltas(
                 address, old_image, new_image
@@ -146,6 +191,9 @@ class CodewordMaintainer:
         """
         assert self.table is not None and self.memory is not None
         regions = self.table.regions_spanning(entry.address, len(entry.image))
+        # The restore writes below the hooks; mark the regions for the
+        # next dirty-region audit whether or not the codeword moves.
+        self.dirty_regions.update(regions)
         latches = [self.protection_latches.latch(r) for r in regions]
         for latch in latches:
             latch.acquire(EXCLUSIVE)
@@ -179,6 +227,21 @@ class CodewordMaintainer:
     def pending_region_count(self) -> int:
         return len(self._pending)
 
+    # ------------------------------------------------------- dirty set
+
+    def dirty_region_list(self) -> list[int]:
+        """Sorted snapshot of the dirty set (sorted so the audit path can
+        fold contiguous runs through the vectorized kernel)."""
+        return sorted(self.dirty_regions)
+
+    def clear_dirty(self, region_ids=None) -> None:
+        """Drop regions from the dirty set after a clean audit verified
+        them (all regions when ``region_ids`` is None: a full sweep)."""
+        if region_ids is None:
+            self.dirty_regions.clear()
+        else:
+            self.dirty_regions.difference_update(region_ids)
+
     # ------------------------------------------------------------ audit
 
     def check_region(self, region_id: int) -> bool:
@@ -200,41 +263,47 @@ class CodewordMaintainer:
         deferred maintainer first flushes its pending deltas so the
         stored codewords are current.
 
-        Fast path: when the regions form a contiguous range and no
-        protection latch is held (no update window or precheck in flight,
-        so latching cannot block and nothing can slip between checks), the
-        whole batch folds through the vectorized
+        Fast path: when no protection latch is held (no update window or
+        precheck in flight, so latching cannot block and nothing can slip
+        between checks) and the regions form a contiguous range *or* a
+        strictly ascending id list, each maximal contiguous run folds
+        through the vectorized
         :meth:`~repro.core.regions.CodewordTable.scan_mismatches` kernel.
-        The meter is charged the *same* event counts as the per-region
-        loop -- ``charge`` is linear, so bulk charging leaves every
-        Table 2 words-folded number unchanged.
+        Ascending lists are what dirty-region and round-robin incremental
+        audits pass, so those ride the kernel too.  The meter is charged
+        the *same* event counts as the per-region loop -- ``charge`` is
+        linear, so bulk charging leaves every Table 2 words-folded number
+        unchanged (property-tested in ``tests/test_dirty_audit.py``).
         """
         assert self.table is not None and self.meter is not None
         if self.deferred:
             self.flush_pending()
         table = self.table
         ids = region_ids if region_ids is not None else range(table.region_count)
-        if (
-            isinstance(ids, range)
-            and ids.step == 1
-            and len(ids)
-            and ids.start >= 0
-            and ids.stop <= table.region_count
-            and not self.protection_latches.any_held()
-        ):
-            checked = len(ids)
-            # Every region folds word_count(region_size) words except the
-            # possibly ragged final region of the image.
-            words = checked * word_count(table.region_size)
-            last = table.region_count - 1
-            if ids.start <= last < ids.stop:
-                words += word_count(table.region_bounds(last)[1]) - word_count(
-                    table.region_size
-                )
-            self.meter.charge("latch_pair", checked)
-            self.meter.charge("cw_check_fixed", checked)
-            self.meter.charge("cw_check_word", words)
-            return table.scan_mismatches(ids)
+        if not self.protection_latches.any_held():
+            runs = _contiguous_runs(ids, table.region_count)
+            if runs is not None:
+                checked = 0
+                words = 0
+                corrupt: list[int] = []
+                last = table.region_count - 1
+                words_per_region = word_count(table.region_size)
+                for start, stop in runs:
+                    count = stop - start
+                    checked += count
+                    # Every region folds word_count(region_size) words
+                    # except the possibly ragged final region of the image.
+                    words += count * words_per_region
+                    if start <= last < stop:
+                        words += word_count(table.region_bounds(last)[1]) - (
+                            words_per_region
+                        )
+                    corrupt.extend(table.scan_mismatches(range(start, stop)))
+                if checked:
+                    self.meter.charge("latch_pair", checked)
+                    self.meter.charge("cw_check_fixed", checked)
+                    self.meter.charge("cw_check_word", words)
+                return corrupt
         corrupt = []
         for region_id in ids:
             latch = self.protection_latches.latch(region_id)

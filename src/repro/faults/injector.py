@@ -14,6 +14,7 @@ and the corruption is *prevented*, exactly as in the paper's model.
 
 from __future__ import annotations
 
+import os
 import random
 from dataclasses import dataclass
 from typing import TYPE_CHECKING
@@ -92,6 +93,34 @@ class FaultInjector:
         old = self.db.memory.read(end, overrun)
         self.db.memory.poke(end, data)
         event = CorruptionEvent("copy_overrun", end, old, data)
+        self.events.append(event)
+        return event
+
+    def torn_flush(self, cut: int | None = None) -> CorruptionEvent:
+        """A crash mid-flush: the last bytes of a stable-log write are lost.
+
+        Chops ``cut`` bytes (default: a random sliver of the final
+        record) off the stable system log file, simulating a flush whose
+        tail never reached disk.  Call after :meth:`Database.crash` --
+        the next ``scan`` detects the tear via the frame CRC and sets
+        ``torn_tail_detected``; restart recovery truncates it.
+
+        The event's ``address`` is the surviving file length and ``old``
+        holds the bytes that were torn off (ground truth for tests).
+        """
+        path = self.db.system_log.path
+        size = os.path.getsize(path)
+        if size == 0:
+            raise ConfigError("stable log is empty; nothing to tear")
+        if cut is None:
+            cut = self.rng.randrange(1, min(size, 16) + 1)
+        if not 0 < cut <= size:
+            raise ConfigError(f"cut must be in [1, {size}]: {cut}")
+        with open(path, "r+b") as handle:
+            handle.seek(size - cut)
+            removed = handle.read(cut)
+            handle.truncate(size - cut)
+        event = CorruptionEvent("torn_flush", size - cut, removed, b"")
         self.events.append(event)
         return event
 

@@ -112,19 +112,21 @@ def recover_from_archive(
     # was at note-load time.
     combine = bool(getattr(db.scheme, "combines_evidence", False))
     contexts: list[CorruptionContext] = []
-    for lsn, record in db.system_log.scan(0):
-        if isinstance(record, AmendRecord) and lsn >= info.ck_end:
-            contexts.append(
-                CorruptionContext(
-                    corrupt_ranges=tuple(record.corrupt_ranges),
-                    audit_sn=record.audit_sn,
-                    use_checksums=record.use_checksums,
-                    reads_traced=True,
-                    from_amendment=True,
-                    root_txns=tuple(record.root_txns),
-                    combine_evidence=record.use_checksums and combine,
-                )
+    # Type-filtered scan: every non-Amend frame is CRC-checked and
+    # skipped without constructing the record, so this prepass costs one
+    # pass over the bytes instead of materializing the whole log.
+    for _lsn, record in db.system_log.scan(info.ck_end, only=(AmendRecord,)):
+        contexts.append(
+            CorruptionContext(
+                corrupt_ranges=tuple(record.corrupt_ranges),
+                audit_sn=record.audit_sn,
+                use_checksums=record.use_checksums,
+                reads_traced=True,
+                from_amendment=True,
+                root_txns=tuple(record.root_txns),
+                combine_evidence=record.use_checksums and combine,
             )
+        )
     live = load_corruption_note(db)
     if live is not None:
         contexts.append(live)

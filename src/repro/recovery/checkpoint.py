@@ -70,8 +70,19 @@ class Checkpointer:
 
     # ------------------------------------------------------------ write
 
-    def checkpoint(self, audit: bool = True) -> CheckpointResult:
-        """Write the next checkpoint image; certify it with a full audit."""
+    def checkpoint(
+        self, audit: bool = True, force_full_audit: bool = False
+    ) -> CheckpointResult:
+        """Write the next checkpoint image; certify it with an audit.
+
+        The certification audit is full by default; under
+        ``DBConfig(audit_mode="incremental")`` it folds only dirty
+        regions, escalating to a full sweep on the configured cadence
+        (see :meth:`~repro.core.audit.Auditor.run_dirty`).
+        ``force_full_audit`` overrides that and always audits every
+        region -- corruption recovery's final checkpoint must certify
+        the whole image, not just the write working set.
+        """
         db = self.db
         ck_end = db.system_log.flush()
         anchor = self.read_anchor()
@@ -87,7 +98,7 @@ class Checkpointer:
 
         report: AuditReport | None = None
         if audit:
-            report = db.auditor.run()
+            report = db.auditor.run_for_checkpoint(force_full=force_full_audit)
             if not report.clean:
                 # Not certified: the anchor keeps pointing at the previous
                 # image, and the caller is expected to crash into

@@ -128,7 +128,7 @@ def prior_state_recovery(db: "Database", cutoff_lsn: int) -> PriorStateReport:
         db._dispatch_logical_undo(rtxn, entry.undo, lenient=True)
         db.manager.commit(rtxn)
     db.memory.dirty_pages.mark_all_dirty(db.memory.iter_pages())
-    result = db.checkpointer.checkpoint()
+    result = db.checkpointer.checkpoint(force_full_audit=True)
     if not result.certified:
         raise RecoveryError("prior-state image failed certification")
     note = db.path(CORRUPTION_NOTE_FILE)

@@ -332,17 +332,18 @@ class RestartRecovery:
     # ------------------------------------------------------- redo phase
 
     def _redo_phase(self, ck_end: int) -> int:
-        last_lsn = -1
-        for lsn, record in self.db.system_log.scan(0):
-            last_lsn = lsn
-            if lsn < ck_end:
-                continue
+        # Frames below CK_end are CRC-verified but never constructed
+        # (the scan's from_lsn filter skips decoding them); the true end
+        # of log still comes from last_scanned_lsn, which tracks every
+        # frame the scan traversed, filtered or not.
+        system_log = self.db.system_log
+        for lsn, record in system_log.scan(ck_end):
             self._seed_due_contexts(lsn)
             self._dispatch(record)
         # A crash mid-flush can leave a torn record at the end of the
         # stable log; cut it off before recovery appends anything new.
-        self.db.system_log.truncate_torn_tail()
-        return last_lsn
+        system_log.truncate_torn_tail()
+        return system_log.last_scanned_lsn
 
     def _dispatch(self, record) -> None:
         if isinstance(record, UpdateRecord):
@@ -566,7 +567,9 @@ class RestartRecovery:
         db = self.db
         self._write_amendments()
         db.memory.dirty_pages.mark_all_dirty(db.memory.iter_pages())
-        result = db.checkpointer.checkpoint()
+        # Corruption recovery must certify the whole image, not just the
+        # dirty working set an incremental audit mode would fold.
+        result = db.checkpointer.checkpoint(force_full_audit=True)
         if not result.certified:
             raise RecoveryError(
                 "post-recovery checkpoint failed its audit; the image is "

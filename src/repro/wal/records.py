@@ -11,6 +11,15 @@ Record kinds follow Section 2.1 plus the paper's two additions:
 Stable-log framing is ``u32 length | u8 type | payload | u32 crc32``; the
 CRC covers type and payload, so a torn or corrupted stable log is detected
 at scan time instead of silently replayed.
+
+The codec is batch-oriented: :func:`encode_into` appends a frame to a
+caller-owned ``bytearray`` (one ``zlib.crc32`` per frame, no intermediate
+``bytes`` joins), and :func:`decode_record`/:func:`iter_records` decode
+straight out of a ``memoryview`` so scanning a whole stable file never
+slices per-record copies of it.  Both directions dispatch through
+per-type tables with one combined :class:`struct.Struct` per record kind;
+the wire format is byte-for-byte the original framing (property-tested in
+``tests/test_wal_batch_equivalence.py``).
 """
 
 from __future__ import annotations
@@ -226,10 +235,11 @@ def _encode_str(text: str) -> bytes:
     return struct.pack("<H", len(raw)) + raw
 
 
-def _decode_str(data: bytes, offset: int) -> tuple[str, int]:
+def _decode_str(data, offset: int) -> tuple[str, int]:
     (length,) = struct.unpack_from("<H", data, offset)
     offset += 2
-    text = data[offset : offset + length].decode("utf-8")
+    # str(buffer, encoding) accepts bytes and memoryview slices alike.
+    text = str(data[offset : offset + length], "utf-8")
     return text, offset + length
 
 
@@ -245,140 +255,319 @@ def _unpack_opt_u32(data: bytes, offset: int) -> tuple[int | None, int]:
     return (None if raw == _OPT_U32_NONE else raw), offset + 8
 
 
+# One combined Struct per record kind covers the type byte plus the fixed
+# part of the payload in a single pack/unpack call ("<" means standard
+# sizes, no padding, so the combined layout is byte-identical to packing
+# the pieces separately).
+_U32 = struct.Struct("<I")
+_U16 = struct.Struct("<H")
+_F_UPDATE = struct.Struct("<BQqIQ")   # type, txn_id, address, image_len, opt_cksum
+_F_OP = struct.Struct("<BQQBH")       # type, txn_id, op_id, level, key_len
+_F_TXN_BEGIN = struct.Struct("<BQB")  # type, txn_id, is_recovery
+_F_U64 = struct.Struct("<BQ")         # type, txn_id/audit_id
+_F_AUDIT_END = struct.Struct("<BQBII")
+_F_AMEND = struct.Struct("<BQQBII")
+_P_UPDATE = struct.Struct("<QqIQ")    # payload-only variants for decode
+_P_OP = struct.Struct("<QQB")
+_P_TXN_BEGIN = struct.Struct("<QB")
+_P_U64 = struct.Struct("<Q")
+_P_AUDIT_END = struct.Struct("<QBII")
+_P_AMEND = struct.Struct("<QQBII")
+# Hot-path header variants that fold the u32 length prefix into the same
+# pack call: one allocation per frame header instead of two.  Plain-int
+# type codes skip IntEnum __index__ on every pack.
+_H_UPDATE = struct.Struct("<IBQqIQ")  # body_len, type, txn, addr, len, cksum
+_H_TXN_BEGIN = struct.Struct("<IBQB")
+_H_U64 = struct.Struct("<IBQ")
+_T_UPDATE = int(RecordType.UPDATE)
+_T_READ = int(RecordType.READ)
+_T_TXN_BEGIN = int(RecordType.TXN_BEGIN)
+
+_crc32 = zlib.crc32
+
+
+def _append_crc(buf: bytearray, body_start: int) -> None:
+    # The temporary memoryview is released before the append resizes buf.
+    buf += _U32.pack(_crc32(memoryview(buf)[body_start:]) & 0xFFFFFFFF)
+
+
+def _enc_update(r: UpdateRecord, buf: bytearray) -> None:
+    image = r.image
+    checksum = r.old_checksum
+    start = len(buf)
+    buf += _H_UPDATE.pack(
+        29 + len(image),
+        _T_UPDATE,
+        r.txn_id,
+        r.address,
+        len(image),
+        _OPT_U32_NONE if checksum is None else checksum,
+    )
+    buf += image
+    _append_crc(buf, start + 4)
+
+
+def _enc_read(r: ReadRecord, buf: bytearray) -> None:
+    checksum = r.checksum
+    start = len(buf)
+    buf += _H_UPDATE.pack(
+        29,
+        _T_READ,
+        r.txn_id,
+        r.address,
+        r.length,
+        _OPT_U32_NONE if checksum is None else checksum,
+    )
+    _append_crc(buf, start + 4)
+
+
+def _enc_op_begin(r: OpBeginRecord, buf: bytearray) -> None:
+    key = r.object_key.encode("utf-8")
+    start = len(buf)
+    buf += _U32.pack(20 + len(key))
+    buf += _F_OP.pack(RecordType.OP_BEGIN, r.txn_id, r.op_id, r.level, len(key))
+    buf += key
+    _append_crc(buf, start + 4)
+
+
+def _enc_op_commit(r: OpCommitRecord, buf: bytearray) -> None:
+    key = r.object_key.encode("utf-8")
+    undo = r.logical_undo.encode()
+    start = len(buf)
+    buf += _U32.pack(20 + len(key) + len(undo))
+    buf += _F_OP.pack(RecordType.OP_COMMIT, r.txn_id, r.op_id, r.level, len(key))
+    buf += key
+    buf += undo
+    _append_crc(buf, start + 4)
+
+
+def _enc_txn_begin(r: TxnBeginRecord, buf: bytearray) -> None:
+    start = len(buf)
+    buf += _H_TXN_BEGIN.pack(10, _T_TXN_BEGIN, r.txn_id, int(r.is_recovery))
+    _append_crc(buf, start + 4)
+
+
+def _enc_u64(rtype: int):
+    code = int(rtype)
+
+    def enc(r: LogRecord, buf: bytearray) -> None:
+        start = len(buf)
+        buf += _H_U64.pack(9, code, r.txn_id)
+        _append_crc(buf, start + 4)
+
+    return enc
+
+
+def _enc_audit_end(r: AuditEndRecord, buf: bytearray) -> None:
+    regions = r.corrupt_regions
+    start = len(buf)
+    buf += _U32.pack(18 + 4 * len(regions))
+    buf += _F_AUDIT_END.pack(
+        RecordType.AUDIT_END, r.txn_id, int(r.clean), r.region_size, len(regions)
+    )
+    buf += struct.pack(f"<{len(regions)}I", *regions)
+    _append_crc(buf, start + 4)
+
+
+def _enc_amend(r: AmendRecord, buf: bytearray) -> None:
+    ranges = r.corrupt_ranges
+    roots = r.root_txns
+    start = len(buf)
+    buf += _U32.pack(26 + 16 * len(ranges) + 8 * len(roots))
+    buf += _F_AMEND.pack(
+        RecordType.AMEND,
+        r.txn_id,
+        r.audit_sn,
+        int(r.use_checksums),
+        len(ranges),
+        len(roots),
+    )
+    if ranges:
+        buf += struct.pack(
+            f"<{2 * len(ranges)}q", *(value for pair in ranges for value in pair)
+        )
+    buf += struct.pack(f"<{len(roots)}Q", *roots)
+    _append_crc(buf, start + 4)
+
+
+_ENCODERS: dict[type, object] = {
+    UpdateRecord: _enc_update,
+    ReadRecord: _enc_read,
+    OpBeginRecord: _enc_op_begin,
+    OpCommitRecord: _enc_op_commit,
+    TxnBeginRecord: _enc_txn_begin,
+    TxnCommitRecord: _enc_u64(RecordType.TXN_COMMIT),
+    TxnAbortRecord: _enc_u64(RecordType.TXN_ABORT),
+    AuditBeginRecord: _enc_u64(RecordType.AUDIT_BEGIN),
+    AuditEndRecord: _enc_audit_end,
+    AmendRecord: _enc_amend,
+}
+
+
+def encode_into(record: LogRecord, buf: bytearray) -> int:
+    """Append one framed record to ``buf``; returns the bytes appended.
+
+    The batch entry point: a flush appends every tail record into one
+    preallocated ``bytearray`` and writes it with a single syscall.
+    """
+    encoder = _ENCODERS.get(type(record))
+    if encoder is None:
+        for klass in type(record).__mro__:  # user subclasses of a record type
+            encoder = _ENCODERS.get(klass)
+            if encoder is not None:
+                break
+        else:
+            raise LogError(f"cannot encode record of type {type(record).__name__}")
+    before = len(buf)
+    encoder(record, buf)
+    return len(buf) - before
+
+
 def encode_record(record: LogRecord) -> bytes:
     """Encode a record with framing and CRC for the stable log."""
-    if isinstance(record, UpdateRecord):
-        rtype = RecordType.UPDATE
-        payload = (
-            struct.pack("<QqI", record.txn_id, record.address, len(record.image))
-            + _pack_opt_u32(record.old_checksum)
-            + record.image
-        )
-    elif isinstance(record, ReadRecord):
-        rtype = RecordType.READ
-        payload = struct.pack(
-            "<QqI", record.txn_id, record.address, record.length
-        ) + _pack_opt_u32(record.checksum)
-    elif isinstance(record, OpBeginRecord):
-        rtype = RecordType.OP_BEGIN
-        payload = struct.pack(
-            "<QQB", record.txn_id, record.op_id, record.level
-        ) + _encode_str(record.object_key)
-    elif isinstance(record, OpCommitRecord):
-        rtype = RecordType.OP_COMMIT
-        payload = (
-            struct.pack("<QQB", record.txn_id, record.op_id, record.level)
-            + _encode_str(record.object_key)
-            + record.logical_undo.encode()
-        )
-    elif isinstance(record, TxnBeginRecord):
-        rtype = RecordType.TXN_BEGIN
-        payload = struct.pack("<QB", record.txn_id, int(record.is_recovery))
-    elif isinstance(record, TxnCommitRecord):
-        rtype = RecordType.TXN_COMMIT
-        payload = struct.pack("<Q", record.txn_id)
-    elif isinstance(record, TxnAbortRecord):
-        rtype = RecordType.TXN_ABORT
-        payload = struct.pack("<Q", record.txn_id)
-    elif isinstance(record, AuditBeginRecord):
-        rtype = RecordType.AUDIT_BEGIN
-        payload = struct.pack("<Q", record.txn_id)
-    elif isinstance(record, AuditEndRecord):
-        rtype = RecordType.AUDIT_END
-        payload = struct.pack(
-            "<QBII",
-            record.txn_id,
-            int(record.clean),
-            record.region_size,
-            len(record.corrupt_regions),
-        ) + struct.pack(f"<{len(record.corrupt_regions)}I", *record.corrupt_regions)
-    elif isinstance(record, AmendRecord):
-        rtype = RecordType.AMEND
-        payload = struct.pack(
-            "<QQBII",
-            record.txn_id,
-            record.audit_sn,
-            int(record.use_checksums),
-            len(record.corrupt_ranges),
-            len(record.root_txns),
-        )
-        for start, length in record.corrupt_ranges:
-            payload += struct.pack("<qq", start, length)
-        payload += struct.pack(f"<{len(record.root_txns)}Q", *record.root_txns)
-    else:
-        raise LogError(f"cannot encode record of type {type(record).__name__}")
-
-    body = bytes([rtype]) + payload
-    crc = zlib.crc32(body) & 0xFFFFFFFF
-    return struct.pack("<I", len(body)) + body + struct.pack("<I", crc)
+    buf = bytearray()
+    encode_into(record, buf)
+    return bytes(buf)
 
 
-def decode_record(data: bytes, offset: int = 0) -> tuple[LogRecord, int]:
-    """Decode one framed record; returns ``(record, next_offset)``."""
-    if offset + 4 > len(data):
+def _dec_update(data, pos: int, end: int) -> UpdateRecord:
+    txn_id, address, image_len, raw = _P_UPDATE.unpack_from(data, pos)
+    pos += 28
+    return UpdateRecord(
+        txn_id,
+        address,
+        bytes(data[pos : pos + image_len]),
+        None if raw == _OPT_U32_NONE else raw,
+    )
+
+
+def _dec_read(data, pos: int, end: int) -> ReadRecord:
+    txn_id, address, length, raw = _P_UPDATE.unpack_from(data, pos)
+    return ReadRecord(txn_id, address, length, None if raw == _OPT_U32_NONE else raw)
+
+
+def _dec_op_begin(data, pos: int, end: int) -> OpBeginRecord:
+    txn_id, op_id, level = _P_OP.unpack_from(data, pos)
+    key, _pos = _decode_str(data, pos + 17)
+    return OpBeginRecord(txn_id, op_id, level, key)
+
+
+def _dec_op_commit(data, pos: int, end: int) -> OpCommitRecord:
+    txn_id, op_id, level = _P_OP.unpack_from(data, pos)
+    key, pos = _decode_str(data, pos + 17)
+    undo, _pos = LogicalUndo.decode(data, pos)
+    return OpCommitRecord(txn_id, op_id, level, key, undo)
+
+
+def _dec_txn_begin(data, pos: int, end: int) -> TxnBeginRecord:
+    txn_id, is_recovery = _P_TXN_BEGIN.unpack_from(data, pos)
+    return TxnBeginRecord(txn_id, bool(is_recovery))
+
+
+def _dec_u64(klass):
+    unpack = _P_U64.unpack_from
+
+    def dec(data, pos: int, end: int):
+        return klass(unpack(data, pos)[0])
+
+    return dec
+
+
+def _dec_audit_end(data, pos: int, end: int) -> AuditEndRecord:
+    audit_id, clean, region_size, count = _P_AUDIT_END.unpack_from(data, pos)
+    regions = struct.unpack_from(f"<{count}I", data, pos + 17)
+    return AuditEndRecord(audit_id, bool(clean), tuple(regions), region_size)
+
+
+def _dec_amend(data, pos: int, end: int) -> AmendRecord:
+    txn_id, audit_sn, use_checksums, count, root_count = _P_AMEND.unpack_from(
+        data, pos
+    )
+    values = struct.unpack_from(f"<{2 * count}q", data, pos + 25)
+    ranges = tuple(zip(values[0::2], values[1::2]))
+    roots = struct.unpack_from(f"<{root_count}Q", data, pos + 25 + 16 * count)
+    return AmendRecord(txn_id, ranges, audit_sn, bool(use_checksums), tuple(roots))
+
+
+_DECODERS: dict[int, object] = {
+    RecordType.UPDATE: _dec_update,
+    RecordType.READ: _dec_read,
+    RecordType.OP_BEGIN: _dec_op_begin,
+    RecordType.OP_COMMIT: _dec_op_commit,
+    RecordType.TXN_BEGIN: _dec_txn_begin,
+    RecordType.TXN_COMMIT: _dec_u64(TxnCommitRecord),
+    RecordType.TXN_ABORT: _dec_u64(TxnAbortRecord),
+    RecordType.AUDIT_BEGIN: _dec_u64(AuditBeginRecord),
+    RecordType.AUDIT_END: _dec_audit_end,
+    RecordType.AMEND: _dec_amend,
+}
+
+#: Record class -> wire type code, for building :func:`decode_record`
+#: ``want`` filters from record classes.
+RECORD_TYPE_CODES: dict[type, int] = {
+    UpdateRecord: RecordType.UPDATE,
+    ReadRecord: RecordType.READ,
+    OpBeginRecord: RecordType.OP_BEGIN,
+    OpCommitRecord: RecordType.OP_COMMIT,
+    TxnBeginRecord: RecordType.TXN_BEGIN,
+    TxnCommitRecord: RecordType.TXN_COMMIT,
+    TxnAbortRecord: RecordType.TXN_ABORT,
+    AuditBeginRecord: RecordType.AUDIT_BEGIN,
+    AuditEndRecord: RecordType.AUDIT_END,
+    AmendRecord: RecordType.AMEND,
+}
+
+
+def type_codes(classes) -> frozenset:
+    """Wire type codes for an iterable of record classes (``want`` filter)."""
+    try:
+        return frozenset(RECORD_TYPE_CODES[klass] for klass in classes)
+    except KeyError as exc:
+        raise LogError(f"not a log record class: {exc.args[0]!r}") from None
+
+
+def decode_record(data, offset: int = 0, want=None):
+    """Decode one framed record; returns ``(record, next_offset)``.
+
+    ``data`` may be ``bytes`` or a ``memoryview`` (batch scans pass one
+    view over the whole file, so nothing is sliced per record).  With a
+    ``want`` set of wire type codes (see :func:`type_codes`), frames of
+    other types are CRC-verified but not constructed and ``record`` is
+    ``None`` -- the cheap path for type-filtered scans.
+    """
+    size = len(data)
+    if offset + 4 > size:
         raise LogError("truncated record frame")
-    (body_len,) = struct.unpack_from("<I", data, offset)
-    offset += 4
-    if offset + body_len + 4 > len(data):
+    (body_len,) = _U32.unpack_from(data, offset)
+    body_start = offset + 4
+    body_end = body_start + body_len
+    if body_len == 0 or body_end + 4 > size:
         raise LogError("truncated record body")
-    body = data[offset : offset + body_len]
-    offset += body_len
-    (crc,) = struct.unpack_from("<I", data, offset)
-    offset += 4
-    if zlib.crc32(body) & 0xFFFFFFFF != crc:
+    (crc,) = _U32.unpack_from(data, body_end)
+    if _crc32(data[body_start:body_end]) & 0xFFFFFFFF != crc:
         raise LogError("log record CRC mismatch")
+    next_offset = body_end + 4
+    rtype = data[body_start]
+    if want is not None and rtype not in want:
+        return None, next_offset
+    decoder = _DECODERS.get(rtype)
+    if decoder is None:
+        raise LogError(f"unknown record type {rtype}")
+    return decoder(data, body_start + 1, body_end), next_offset
 
-    rtype = RecordType(body[0])
-    payload = body[1:]
-    if rtype == RecordType.UPDATE:
-        txn_id, address, image_len = struct.unpack_from("<QqI", payload, 0)
-        old_checksum, pos = _unpack_opt_u32(payload, 20)
-        image = bytes(payload[pos : pos + image_len])
-        return UpdateRecord(txn_id, address, image, old_checksum), offset
-    if rtype == RecordType.READ:
-        txn_id, address, length = struct.unpack_from("<QqI", payload, 0)
-        checksum, _pos = _unpack_opt_u32(payload, 20)
-        return ReadRecord(txn_id, address, length, checksum), offset
-    if rtype == RecordType.OP_BEGIN:
-        txn_id, op_id, level = struct.unpack_from("<QQB", payload, 0)
-        key, _pos = _decode_str(payload, 17)
-        return OpBeginRecord(txn_id, op_id, level, key), offset
-    if rtype == RecordType.OP_COMMIT:
-        txn_id, op_id, level = struct.unpack_from("<QQB", payload, 0)
-        key, pos = _decode_str(payload, 17)
-        undo, _pos = LogicalUndo.decode(payload, pos)
-        return OpCommitRecord(txn_id, op_id, level, key, undo), offset
-    if rtype == RecordType.TXN_BEGIN:
-        txn_id, is_recovery = struct.unpack_from("<QB", payload, 0)
-        return TxnBeginRecord(txn_id, bool(is_recovery)), offset
-    if rtype == RecordType.TXN_COMMIT:
-        (txn_id,) = struct.unpack_from("<Q", payload, 0)
-        return TxnCommitRecord(txn_id), offset
-    if rtype == RecordType.TXN_ABORT:
-        (txn_id,) = struct.unpack_from("<Q", payload, 0)
-        return TxnAbortRecord(txn_id), offset
-    if rtype == RecordType.AUDIT_BEGIN:
-        (audit_id,) = struct.unpack_from("<Q", payload, 0)
-        return AuditBeginRecord(audit_id), offset
-    if rtype == RecordType.AUDIT_END:
-        audit_id, clean, region_size, count = struct.unpack_from("<QBII", payload, 0)
-        regions = struct.unpack_from(f"<{count}I", payload, 17)
-        return AuditEndRecord(audit_id, bool(clean), tuple(regions), region_size), offset
-    if rtype == RecordType.AMEND:
-        txn_id, audit_sn, use_checksums, count, root_count = struct.unpack_from(
-            "<QQBII", payload, 0
-        )
-        ranges = []
-        pos = 25
-        for _ in range(count):
-            start, length = struct.unpack_from("<qq", payload, pos)
-            ranges.append((start, length))
-            pos += 16
-        roots = struct.unpack_from(f"<{root_count}Q", payload, pos)
-        return (
-            AmendRecord(
-                txn_id, tuple(ranges), audit_sn, bool(use_checksums), tuple(roots)
-            ),
-            offset,
-        )
-    raise LogError(f"unknown record type {rtype}")  # pragma: no cover
+
+def iter_records(data, offset: int = 0, want=None):
+    """Stream-decode a buffer of framed records (no LSN headers).
+
+    Wraps ``data`` in a single ``memoryview`` and yields records until
+    the buffer is exhausted; a torn or corrupt frame raises
+    :class:`~repro.errors.LogError` at that point.  ``want`` filters by
+    wire type code without constructing skipped records.
+    """
+    if not isinstance(data, memoryview):
+        data = memoryview(data)
+    size = len(data)
+    while offset < size:
+        record, offset = decode_record(data, offset, want)
+        if record is not None:
+            yield record

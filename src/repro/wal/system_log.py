@@ -8,6 +8,14 @@ LSNs are dense sequence numbers assigned when a record enters the tail
 (i.e. at operation commit, when local redo records migrate here).  The
 stable file stores ``u64 lsn`` followed by the framed record, so a scan
 can start from any LSN (``CK_end``, ``Audit_SN``).
+
+The write path is batch-oriented: a flush encodes the whole tail into one
+``bytearray`` via :func:`~repro.wal.records.encode_into` (one write
+syscall, no per-record joins), scans decode out of a single
+``memoryview`` of the file, truncation splices the file at a byte offset
+instead of decoding and re-encoding every survivor, and
+:attr:`stable_record_count` is a counter maintained at flush/truncate
+time instead of an O(file) scan per call.
 """
 
 from __future__ import annotations
@@ -18,11 +26,15 @@ from typing import Iterator
 from repro.errors import LogError
 from repro.sim.clock import Meter
 from repro.txn.latches import Latch
-from repro.wal.records import LogRecord, decode_record, encode_record
+from repro.wal.records import LogRecord, decode_record, encode_into, type_codes
 
 import struct
 
 _LSN_HEADER = struct.Struct("<Q")
+
+#: ``want`` filter matching no record type: frames are CRC-verified and
+#: skipped without constructing the record.
+_SKIP_ALL = frozenset()
 
 
 class SystemLog:
@@ -37,7 +49,16 @@ class SystemLog:
         self.end_of_stable_lsn = 0  # records with lsn < this are on disk
         self.torn_tail_detected = False
         self._clean_prefix_bytes = 0
+        #: LSN of the last decodable frame seen by the most recent
+        #: :meth:`scan` (-1 for an empty file) -- tracked for *every*
+        #: frame, even ones a ``from_lsn``/``only`` filter skipped, so
+        #: restart recovery can learn the true end of log from a
+        #: filtered scan.
+        self.last_scanned_lsn = -1
         self._file = open(path, "ab")
+        # Stable-record counter: exact from birth for a fresh file,
+        # lazily counted once when opening a pre-existing file.
+        self._stable_count: int | None = 0 if self._file.tell() == 0 else None
 
     # ------------------------------------------------------------ write
 
@@ -56,33 +77,51 @@ class SystemLog:
             self.meter.charge("log_byte", record.approx_size())
         return lsn
 
-    def extend(self, records: list[LogRecord]) -> tuple[int, int]:
-        """Append many records; returns ``(first_lsn, next_lsn)``."""
+    def extend(self, records, charge: bool = True) -> tuple[int, int]:
+        """Append many records in one batch; returns ``(first_lsn, next_lsn)``.
+
+        Meter-identical to a loop of :meth:`append` calls with the same
+        ``charge`` flag: :meth:`~repro.sim.clock.Meter.charge` is linear,
+        so one bulk ``log_record``/``log_byte`` charge equals the
+        per-record sequence in both event counts and virtual nanoseconds.
+        """
+        records = list(records)
         first = self.next_lsn
+        lsn = first
+        tail_append = self.tail.append
         for record in records:
-            self.append(record)
-        return first, self.next_lsn
+            tail_append((lsn, record))
+            lsn += 1
+        self.next_lsn = lsn
+        if charge and records:
+            self.meter.charge("log_record", len(records))
+            self.meter.charge(
+                "log_byte", sum(record.approx_size() for record in records)
+            )
+        return first, lsn
 
     def flush(self) -> int:
         """Flush the tail to the stable log; returns end_of_stable_lsn.
 
         Holds the system log latch for the duration, as the paper requires
-        to serialize access to the flush buffers.
+        to serialize access to the flush buffers.  The whole tail is
+        encoded into one buffer and written with a single syscall.
         """
         with self.latch.exclusive():
             self.meter.charge("latch_pair")
             if not self.tail:
                 return self.end_of_stable_lsn
             self.meter.charge("flush_fixed")
-            chunks = []
-            byte_count = 0
+            buf = bytearray()
+            pack_lsn = _LSN_HEADER.pack
             for lsn, record in self.tail:
-                encoded = _LSN_HEADER.pack(lsn) + encode_record(record)
-                chunks.append(encoded)
-                byte_count += len(encoded)
-            self._file.write(b"".join(chunks))
+                buf += pack_lsn(lsn)
+                encode_into(record, buf)
+            self._file.write(buf)
             self._file.flush()
-            self.meter.charge("flush_byte", byte_count)
+            self.meter.charge("flush_byte", len(buf))
+            if self._stable_count is not None:
+                self._stable_count += len(self.tail)
             self.end_of_stable_lsn = self.tail[-1][0] + 1
             self.tail.clear()
             return self.end_of_stable_lsn
@@ -98,7 +137,7 @@ class SystemLog:
     # ------------------------------------------------------------- read
 
     def scan(
-        self, from_lsn: int = 0, strict: bool = False
+        self, from_lsn: int = 0, strict: bool = False, only=None
     ) -> Iterator[tuple[int, LogRecord]]:
         """Yield ``(lsn, record)`` from the *stable* log, lsn >= from_lsn.
 
@@ -108,25 +147,43 @@ class SystemLog:
         :attr:`torn_tail_detected`), which is the standard write-ahead-log
         recovery behaviour; ``strict=True`` raises instead, for integrity
         checks that must see every byte accounted for.
+
+        ``only`` restricts the yield to an iterable of record *classes*
+        (e.g. ``only=(AmendRecord,)`` for archive replay's amendment
+        prepass).  Skipped frames -- filtered by type or below
+        ``from_lsn`` -- are still CRC-verified and LSN-ordered, but the
+        record object is never constructed, so a filtered scan touches
+        each byte once and allocates nothing per skipped record.
         """
         self.torn_tail_detected = False
         self._clean_prefix_bytes = 0
+        self.last_scanned_lsn = -1
         if not os.path.exists(self.path):
             return
         with open(self.path, "rb") as handle:
             data = handle.read()
+        want = type_codes(only) if only is not None else None
+        view = memoryview(data)
+        size = len(view)
         offset = 0
         previous_lsn = -1
-        while offset < len(data):
+        frames = 0
+        unpack_lsn = _LSN_HEADER.unpack_from
+        while offset < size:
             try:
-                if offset + _LSN_HEADER.size > len(data):
+                if offset + 8 > size:
                     raise LogError("truncated LSN header in stable log")
-                (lsn,) = _LSN_HEADER.unpack_from(data, offset)
-                record, offset = decode_record(data, offset + _LSN_HEADER.size)
+                (lsn,) = unpack_lsn(view, offset)
+                record, offset = decode_record(
+                    view, offset + 8, want if lsn >= from_lsn else _SKIP_ALL
+                )
             except LogError:
                 if strict:
                     raise
                 self.torn_tail_detected = True
+                # The file holds bytes the counter can no longer vouch
+                # for; recount lazily after the tail is repaired.
+                self._stable_count = None
                 return
             self._clean_prefix_bytes = offset
             if lsn <= previous_lsn:
@@ -134,8 +191,14 @@ class SystemLog:
                     f"stable log LSNs out of order: {lsn} after {previous_lsn}"
                 )
             previous_lsn = lsn
-            if lsn >= from_lsn:
+            self.last_scanned_lsn = lsn
+            frames += 1
+            if record is not None:
                 yield lsn, record
+        if self._stable_count is None:
+            # A clean full traversal counted every frame; repair the
+            # counter for free.
+            self._stable_count = frames
 
     def truncate_before(self, lsn: int) -> int:
         """Drop stable records with LSNs below ``lsn``; returns the count.
@@ -144,20 +207,40 @@ class SystemLog:
         recovery never reads below ``CK_end``.  Archive replay *does* read
         below it, so callers that keep archives must not truncate past the
         oldest archive's ``CK_end`` (see ``Database.truncate_log``).
+
+        Only the dropped prefix is decoded (CRC-verified, records never
+        constructed); the survivors are spliced out byte-for-byte at the
+        cut offset -- encoding is deterministic, so the spliced bytes are
+        exactly what the old decode→re-encode cycle produced.  Torn-tail
+        bytes, if any, stay in place for ``scan``/``truncate_torn_tail``.
         """
-        kept: list[bytes] = []
+        if not os.path.exists(self.path):
+            return 0
+        with open(self.path, "rb") as handle:
+            data = handle.read()
+        view = memoryview(data)
+        size = len(view)
+        offset = 0
         removed = 0
-        for record_lsn, record in self.scan(0):
-            if record_lsn < lsn:
-                removed += 1
-            else:
-                kept.append(_LSN_HEADER.pack(record_lsn) + encode_record(record))
+        while offset + 8 <= size:
+            (record_lsn,) = _LSN_HEADER.unpack_from(view, offset)
+            if record_lsn >= lsn:
+                break
+            try:
+                _record, offset = decode_record(view, offset + 8, _SKIP_ALL)
+            except LogError:
+                break
+            removed += 1
         if removed == 0:
             return 0
+        kept = data[offset:]
+        del view
         self._file.close()
         with open(self.path, "wb") as handle:
-            handle.write(b"".join(kept))
+            handle.write(kept)
         self._file = open(self.path, "ab")
+        if self._stable_count is not None:
+            self._stable_count -= removed
         return removed
 
     def truncate_torn_tail(self) -> bool:
@@ -178,4 +261,25 @@ class SystemLog:
 
     @property
     def stable_record_count(self) -> int:
-        return sum(1 for _ in self.scan())
+        """Number of records in the stable file.
+
+        O(1): the counter is maintained at flush/truncate time.  It is
+        (re)counted lazily -- CRC checks only, no record construction --
+        after opening a pre-existing file or after a scan found a torn
+        tail (external damage the counter cannot vouch for).
+        """
+        if self._stable_count is None:
+            count = 0
+            if os.path.exists(self.path):
+                with open(self.path, "rb") as handle:
+                    view = memoryview(handle.read())
+                size = len(view)
+                offset = 0
+                while offset + 8 <= size:
+                    try:
+                        _record, offset = decode_record(view, offset + 8, _SKIP_ALL)
+                    except LogError:
+                        break
+                    count += 1
+            self._stable_count = count
+        return self._stable_count

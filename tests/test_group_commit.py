@@ -1,0 +1,192 @@
+"""Group commit (``DBConfig(group_commit_size=N)``).
+
+Default config must stay flush-per-commit and meter-identical to the
+pre-batching behaviour; N > 1 amortizes flushes across commits at the
+documented durability cost (a crash can lose up to N-1 reported commits,
+which restart recovery rolls back like any uncommitted work).
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import Database, DBConfig
+from repro.errors import ConfigError
+
+from tests.conftest import ACCT_SCHEMA, insert_accounts
+
+
+def make_db(tmp_path, name, **config_kwargs) -> Database:
+    config = DBConfig(dir=str(tmp_path / name), scheme="baseline", **config_kwargs)
+    db = Database(config)
+    db.create_table("acct", ACCT_SCHEMA, 64, key_field="id")
+    db.start()
+    return db
+
+
+def read_balances(db: Database, slots: list[int]) -> list[int]:
+    table = db.table("acct")
+    txn = db.begin()
+    balances = [table.read(txn, slot)["balance"] for slot in slots]
+    db.commit(txn)
+    return balances
+
+
+def run_workload(db: Database, deposits: list[int]) -> None:
+    table = db.table("acct")
+    for i, amount in enumerate(deposits):
+        txn = db.begin()
+        table.update(txn, i % 3, {"balance": 100 + amount})
+        db.commit(txn)
+
+
+class TestDefaultConfig:
+    def test_default_is_flush_per_commit(self, tmp_path):
+        db = make_db(tmp_path, "d1")
+        insert_accounts(db, 3)
+        before = db.meter.counts["flush_fixed"]
+        run_workload(db, [1, 2, 3, 4])
+        assert db.system_log.tail == []  # every commit flushed
+        assert db.meter.counts["flush_fixed"] == before + 4
+        db.close()
+
+    @given(deposits=st.lists(st.integers(0, 1000), min_size=1, max_size=8))
+    @settings(max_examples=25, deadline=None)
+    def test_default_meter_identical_to_flushed_group_commit(
+        self, deposits, tmp_path_factory
+    ):
+        """Group commit with an immediate ``flush_commits`` after every
+        commit is meter-identical to the default path over the workload:
+        the machinery adds zero events, only flush *timing* changes.
+        (Bootstrap flush timing differs before the window is drained, so
+        the comparison is over meter deltas, not absolute totals.)"""
+        base = tmp_path_factory.mktemp("gc")
+        default = make_db(base, "default")
+        grouped = make_db(base, "grouped", group_commit_size=4)
+        insert_accounts(default, 3)
+        insert_accounts(grouped, 3)
+        grouped.manager.flush_commits()  # drain setup commits from the window
+        marks = {id(default): default.meter.snapshot(), id(grouped): grouped.meter.snapshot()}
+
+        def delta(db):
+            mark = marks[id(db)]
+            return {
+                event: (count - mark.get(event, (0, 0))[0], ns - mark.get(event, (0, 0))[1])
+                for event, (count, ns) in db.meter.snapshot().items()
+                if (count, ns) != mark.get(event, (0, 0))
+            }
+
+        run_workload(default, deposits)
+        table = grouped.table("acct")
+        for i, amount in enumerate(deposits):
+            txn = grouped.begin()
+            table.update(txn, i % 3, {"balance": 100 + amount})
+            grouped.commit(txn)
+            grouped.manager.flush_commits()
+        assert delta(default) == delta(grouped)
+        default.close()
+        grouped.close()
+
+
+class TestGroupedCommits:
+    def test_window_defers_flush_until_full(self, tmp_path):
+        db = make_db(tmp_path, "g1", group_commit_size=3)
+        insert_accounts(db, 3)
+        db.manager.flush_commits()  # setup commits count toward the window
+        before = db.meter.counts["flush_fixed"]
+        run_workload(db, [1, 2])
+        assert len(db.system_log.tail) > 0  # two commits still buffered
+        assert db.meter.counts["flush_fixed"] == before
+        run_workload(db, [3])  # third commit fills the window
+        assert db.system_log.tail == []
+        assert db.meter.counts["flush_fixed"] == before + 1
+        db.close()
+
+    def test_fewer_flushes_than_default(self, tmp_path):
+        grouped = make_db(tmp_path, "g2", group_commit_size=8)
+        default = make_db(tmp_path, "d2")
+        for db in (grouped, default):
+            insert_accounts(db, 3)
+            db.manager.flush_commits()
+            start = db.meter.counts["flush_fixed"]
+            run_workload(db, list(range(16)))
+            db.flushes_used = db.meter.counts["flush_fixed"] - start
+        assert grouped.flushes_used == 2  # 16 commits / window of 8
+        assert default.flushes_used == 16
+        grouped.close()
+        default.close()
+
+    def test_abort_flushes_and_resets_window(self, tmp_path):
+        db = make_db(tmp_path, "g3", group_commit_size=4)
+        insert_accounts(db, 3)
+        db.manager.flush_commits()
+        run_workload(db, [1])  # one buffered commit
+        assert len(db.system_log.tail) > 0
+        txn = db.begin()
+        db.table("acct").update(txn, 0, {"balance": 999})
+        db.abort(txn)
+        assert db.system_log.tail == []  # abort drains the window
+        run_workload(db, [2, 3, 4])  # window restarts from zero
+        assert len(db.system_log.tail) > 0
+        db.close()
+
+    def test_clean_close_makes_buffered_commits_durable(self, tmp_path):
+        config = DBConfig(
+            dir=str(tmp_path / "g4"), scheme="baseline", group_commit_size=8
+        )
+        db = Database(config)
+        db.create_table("acct", ACCT_SCHEMA, 64, key_field="id")
+        db.start()
+        slots = insert_accounts(db, 3)
+        db.checkpoint()
+        db.manager.flush_commits()  # reset the window the setup commits used
+        run_workload(db, [7, 8])  # buffered, window not full
+        assert len(db.system_log.tail) > 0
+        db.close()  # flush_commits() inside close drains the window
+        recovered, _report = Database.recover(config)
+        assert read_balances(recovered, [slots[0], slots[1]]) == [107, 108]
+        recovered.close()
+
+    def test_crash_loses_at_most_window_minus_one_commits(self, tmp_path):
+        config = DBConfig(
+            dir=str(tmp_path / "g5"), scheme="baseline", group_commit_size=4
+        )
+        db = Database(config)
+        db.create_table("acct", ACCT_SCHEMA, 64, key_field="id")
+        db.start()
+        slots = insert_accounts(db, 3)
+        db.checkpoint()
+        db.manager.flush_commits()  # reset the window the setup commits used
+        run_workload(db, [11, 12, 13])  # 3 buffered commits (< window of 4)
+        db.crash()
+        recovered, _report = Database.recover(config)
+        # The buffered commits never reached the stable log: they are
+        # gone, and the pre-crash state is intact -- the documented
+        # <= N-1 durability trade of group commit.
+        assert read_balances(recovered, [slots[i] for i in range(3)]) == [100] * 3
+        recovered.close()
+
+    def test_full_windows_survive_crash(self, tmp_path):
+        config = DBConfig(
+            dir=str(tmp_path / "g6"), scheme="baseline", group_commit_size=2
+        )
+        db = Database(config)
+        db.create_table("acct", ACCT_SCHEMA, 64, key_field="id")
+        db.start()
+        slots = insert_accounts(db, 3)
+        db.checkpoint()
+        db.manager.flush_commits()  # reset the window the setup commits used
+        run_workload(db, [21, 22, 23])  # first two flushed, third buffered
+        db.crash()
+        recovered, _report = Database.recover(config)
+        # First window flushed, third commit lost with the tail.
+        assert read_balances(recovered, [slots[i] for i in range(3)]) == [121, 122, 100]
+        recovered.close()
+
+
+class TestConfigValidation:
+    def test_group_commit_size_must_be_positive(self, tmp_path):
+        with pytest.raises(ConfigError):
+            Database(DBConfig(dir=str(tmp_path / "bad"), group_commit_size=0))
