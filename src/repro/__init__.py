@@ -27,13 +27,20 @@ from repro.errors import (
     MemoryError_,
     OutOfSpaceError,
     ProtectionFault,
+    QuarantinedRegionError,
     RecoveryError,
     ReproError,
+    SimulatedCrash,
     TransactionAborted,
     TransactionError,
     WorkloadError,
 )
-from repro.faults import CorruptionEvent, FaultInjector
+from repro.faults import (
+    CorruptionEvent,
+    CrashPointRegistry,
+    FaultInjector,
+    tear_log_tail,
+)
 from repro.storage import Database, DBConfig, Field, FieldType, Schema, Table
 from repro.core import SCHEME_NAMES, make_scheme
 from repro.sim import CostModel, DEFAULT_COSTS, VirtualClock
@@ -49,6 +56,8 @@ __all__ = [
     "Table",
     "FaultInjector",
     "CorruptionEvent",
+    "CrashPointRegistry",
+    "tear_log_tail",
     "make_scheme",
     "SCHEME_NAMES",
     "CostModel",
@@ -62,6 +71,8 @@ __all__ = [
     "ProtectionFault",
     "CorruptionDetected",
     "AuditFailure",
+    "QuarantinedRegionError",
+    "SimulatedCrash",
     "LatchError",
     "LockError",
     "TransactionError",

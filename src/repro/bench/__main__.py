@@ -105,6 +105,79 @@ def print_region_sweep(scale: float) -> None:
         shutil.rmtree(workdir)
 
 
+def print_fault_campaign(
+    seeds: tuple[int, ...],
+    schemes: tuple[str, ...],
+    schedules: int,
+    ops: int,
+):
+    """Run a seeded fault campaign and print its scoreboard."""
+    from repro.faults.campaign import CampaignSpec, run_campaign
+
+    spec = CampaignSpec(
+        seeds=seeds,
+        schemes=schemes,
+        schedules_per_config=schedules,
+        ops_per_schedule=ops,
+    )
+    workdir = tempfile.mkdtemp(prefix="repro-faults-")
+    try:
+        result = run_campaign(spec, workdir)
+    finally:
+        shutil.rmtree(workdir, ignore_errors=True)
+    board = result.scoreboard()
+    rows = []
+    for scheme, row in board.items():
+        latency = row["mean_detection_latency_ops"]
+        rows.append(
+            [
+                scheme,
+                str(row["schedules"]),
+                str(row["direct_faults"]),
+                str(row["detected"]),
+                str(row["erased"]),
+                str(row["false_negatives"]),
+                "-" if latency is None else f"{latency:.2f}",
+                f"{row['repairs_ok']}/{row['repairs']}",
+                f"{row['values_ok']}/{row['schedules']}",
+                str(row["quarantine_blocked_reads"]),
+                str(row["quarantine_served_garbage"]),
+            ]
+        )
+    print(
+        render_table(
+            [
+                "Scheme",
+                "Runs",
+                "Direct",
+                "Detected",
+                "Erased",
+                "FalseNeg",
+                "Latency(ops)",
+                "Repairs",
+                "Values",
+                "Blocked",
+                "Garbage",
+            ],
+            rows,
+            title=(
+                f"Fault campaign: {result.spec.total_schedules} schedules "
+                f"({len(spec.seeds)} seeds x {len(spec.schemes)} schemes x "
+                f"{spec.schedules_per_config})"
+            ),
+        )
+    )
+    if result.errors:
+        print(f"\n{len(result.errors)} schedule(s) raised unexpected errors:")
+        for o in result.errors:
+            print(f"  {o.scheme} seed={o.seed} idx={o.index}: {o.error}")
+    if result.false_negatives:
+        print(f"\nFALSE NEGATIVES: {len(result.false_negatives)}")
+    if result.garbage_served:
+        print(f"\nQUARANTINE SERVED GARBAGE: {len(result.garbage_served)}")
+    return result
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(
         prog="python -m repro.bench",
@@ -112,9 +185,10 @@ def main(argv: list[str] | None = None) -> int:
     )
     parser.add_argument(
         "--table",
-        choices=["1", "2", "all"],
+        choices=["1", "2", "all", "none"],
         default="all",
-        help="which table to reproduce (default: all)",
+        help="which table to reproduce (default: all; 'none' skips tables, "
+        "e.g. for a --faults-only run)",
     )
     parser.add_argument(
         "--scale",
@@ -140,10 +214,41 @@ def main(argv: list[str] | None = None) -> int:
         help="also write the reproduced tables as machine-readable JSON "
         "(a BENCH_*.json perf-trajectory artifact)",
     )
+    parser.add_argument(
+        "--faults",
+        action="store_true",
+        help="run the seeded crash/fault campaign and print its detection/"
+        "repair scoreboard (exit 1 on any false negative or quarantined "
+        "read served as data)",
+    )
+    parser.add_argument(
+        "--faults-seeds",
+        default="1,2,3",
+        help="comma-separated campaign seeds (default: 1,2,3)",
+    )
+    parser.add_argument(
+        "--faults-schemes",
+        default=None,
+        help="comma-separated scheme stacks for the campaign (default: "
+        "data_codeword,read_precheck,read_logging,data_cw+cw_read_logging)",
+    )
+    parser.add_argument(
+        "--faults-schedules",
+        type=int,
+        default=17,
+        help="randomized schedules per (seed, scheme) pair (default: 17)",
+    )
+    parser.add_argument(
+        "--faults-ops",
+        type=int,
+        default=24,
+        help="workload operations per schedule (default: 24)",
+    )
     args = parser.parse_args(argv)
 
     table1 = None
     table2 = None
+    campaign = None
     if args.table in ("1", "all"):
         table1 = print_table1()
         print()
@@ -152,12 +257,30 @@ def main(argv: list[str] | None = None) -> int:
     if args.sweep:
         print()
         print_region_sweep(args.scale)
-    if args.json:
-        write_bench_json(
-            args.json,
-            bench_json_payload(table1=table1, table2=table2, scale=args.scale),
+    if args.faults:
+        if args.table != "none":
+            print()
+        from repro.faults.campaign import DEFAULT_SCHEMES
+
+        schemes = (
+            tuple(s for s in args.faults_schemes.split(",") if s)
+            if args.faults_schemes
+            else DEFAULT_SCHEMES
         )
+        seeds = tuple(int(s) for s in args.faults_seeds.split(",") if s)
+        campaign = print_fault_campaign(
+            seeds, schemes, args.faults_schedules, args.faults_ops
+        )
+    if args.json:
+        payload = bench_json_payload(table1=table1, table2=table2, scale=args.scale)
+        if campaign is not None:
+            payload["faults"] = campaign.to_payload()
+        write_bench_json(args.json, payload)
         print(f"\nwrote {args.json}")
+    if campaign is not None and (
+        campaign.false_negatives or campaign.garbage_served or campaign.errors
+    ):
+        return 1
     return 0
 
 

@@ -36,6 +36,15 @@ class AuditReport:
     #: Total image size in bytes; 0 when unknown.  Lets the fallback below
     #: clamp the final (possibly ragged) region like ``region_bounds``.
     image_size: int = 0
+    #: Regions this audit skipped because they were already quarantined
+    #: (``skip_quarantined``).  A clean-but-degraded report certifies only
+    #: the regions it actually folded.
+    quarantined_regions: tuple[int, ...] = field(default=())
+
+    @property
+    def degraded(self) -> bool:
+        """True when quarantined regions were skipped rather than audited."""
+        return bool(self.quarantined_regions)
 
     @property
     def corrupt_byte_ranges(self) -> tuple[tuple[int, int], ...]:
@@ -87,7 +96,11 @@ class Auditor:
         self._dirty_audits_since_sweep = 0
 
     def run(
-        self, region_ids=None, flush: bool = True, advance_audit_sn: bool = True
+        self,
+        region_ids=None,
+        flush: bool = True,
+        advance_audit_sn: bool = True,
+        skip_quarantined: bool = False,
     ) -> AuditReport:
         """Audit the given regions (default: all); returns a report.
 
@@ -95,12 +108,38 @@ class Auditor:
         corruption recovery is the database's call, since the right
         response differs between schemes (cache recovery for plain Data
         Codeword, delete-transaction recovery with read logging).
+
+        ``skip_quarantined`` excludes regions the maintainer already
+        holds in quarantine: they are known-corrupt, and re-failing the
+        audit on their account would mask *new* corruption elsewhere.
+        The skipped ids are reported (``report.quarantined_regions``) and
+        a degraded audit never advances ``Audit_SN`` -- it certified only
+        part of the image.
         """
         audit_id = self._next_audit_id
         self._next_audit_id += 1
         begin_lsn = self.system_log.append(AuditBeginRecord(audit_id))
         table = self.scheme.codeword_table
         region_size = table.region_size if table is not None else 0
+        quarantined: tuple[int, ...] = ()
+        if skip_quarantined:
+            maintainer = getattr(self.scheme, "maintainer", None)
+            if maintainer is not None and maintainer.quarantined:
+                qset = set(maintainer.quarantined)
+                if region_ids is None:
+                    count = table.region_count if table is not None else 0
+                    region_ids = [r for r in range(count) if r not in qset]
+                    quarantined = tuple(sorted(qset))
+                else:
+                    region_ids = list(region_ids)
+                    quarantined = tuple(
+                        sorted(qset.intersection(region_ids))
+                    )
+                    region_ids = [r for r in region_ids if r not in qset]
+        if quarantined:
+            # Part of the image went unverified; a clean result here must
+            # not certify the whole database.
+            advance_audit_sn = False
         if region_ids is None:
             regions_checked = table.region_count if table is not None else 0
         else:
@@ -134,9 +173,12 @@ class Auditor:
             regions_checked=regions_checked,
             corrupt_ranges=ranges,
             image_size=table.memory.size if table is not None else 0,
+            quarantined_regions=quarantined,
         )
 
-    def run_dirty(self, flush: bool = True) -> AuditReport:
+    def run_dirty(
+        self, flush: bool = True, skip_quarantined: bool = False
+    ) -> AuditReport:
         """Audit only the regions dirtied since they were last verified.
 
         The maintainer marks every region touched through the prescribed
@@ -158,12 +200,17 @@ class Auditor:
         self._dirty_audits_since_sweep += 1
         if self._dirty_audits_since_sweep >= self.full_sweep_every:
             self._dirty_audits_since_sweep = 0
-            report = self.run(flush=flush)
+            report = self.run(flush=flush, skip_quarantined=skip_quarantined)
             if report.clean:
                 maintainer.clear_dirty()
             return report
         dirty = maintainer.dirty_region_list()
-        report = self.run(region_ids=dirty, flush=flush, advance_audit_sn=False)
+        report = self.run(
+            region_ids=dirty,
+            flush=flush,
+            advance_audit_sn=False,
+            skip_quarantined=skip_quarantined,
+        )
         if report.clean:
             maintainer.clear_dirty(dirty)
         return report

@@ -110,6 +110,17 @@ class CodewordMaintainer:
         #: here -- that asymmetry is exactly what makes periodic full
         #: sweeps a correctness requirement, not an optimisation.
         self.dirty_regions: set[int] = set()
+        #: Regions a failed audit/precheck fenced off.  Quarantined
+        #: regions are skipped by degraded audits and vetoed (or repaired
+        #: first) on read; they leave the set via
+        #: :meth:`unquarantine` (cache recovery) or :meth:`rebuild`
+        #: (restart recovery recomputes every codeword from a repaired
+        #: image, so prior quarantine verdicts are stale).
+        self.quarantined: set[int] = set()
+        #: When True, a precheck mismatch quarantines the failing regions
+        #: as it raises (set by the storage layer under
+        #: ``DBConfig(quarantine=True)``).
+        self.quarantine_on_detect = False
 
     def attach(self, memory: MemoryImage, meter: Meter) -> None:
         """Bind to an image/meter; idempotent so shared adopters can all call it."""
@@ -123,8 +134,10 @@ class CodewordMaintainer:
         assert self.table is not None
         self.table.rebuild_all()
         # Freshly recomputed codewords match memory by construction;
-        # nothing is awaiting verification.
+        # nothing is awaiting verification, and quarantine verdicts
+        # against the pre-rebuild image are stale.
         self.dirty_regions.clear()
+        self.quarantined.clear()
 
     @property
     def space_overhead(self) -> float:
@@ -241,6 +254,26 @@ class CodewordMaintainer:
             self.dirty_regions.clear()
         else:
             self.dirty_regions.difference_update(region_ids)
+
+    # ------------------------------------------------------- quarantine
+
+    def quarantine(self, region_ids) -> None:
+        """Fence off regions a failed audit/precheck identified."""
+        self.quarantined.update(region_ids)
+
+    def unquarantine(self, region_ids) -> None:
+        """Release regions that were repaired (cache recovery)."""
+        self.quarantined.difference_update(region_ids)
+
+    def clear_quarantine(self) -> None:
+        self.quarantined.clear()
+
+    def quarantined_overlapping(self, address: int, length: int) -> list[int]:
+        """Quarantined regions overlapping ``[address, address+length)``."""
+        if not self.quarantined or self.table is None:
+            return []
+        spanned = self.table.regions_spanning(address, length)
+        return sorted(self.quarantined.intersection(spanned))
 
     # ------------------------------------------------------------ audit
 

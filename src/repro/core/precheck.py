@@ -21,7 +21,7 @@ copying ``read`` + scalar loop.
 from __future__ import annotations
 
 from repro.core.schemes import CodewordSchemeBase
-from repro.errors import CorruptionDetected
+from repro.errors import CorruptionDetected, QuarantinedRegionError
 from repro.txn.latches import EXCLUSIVE
 from repro.txn.transaction import Transaction
 
@@ -66,11 +66,18 @@ class ReadPrecheckScheme(CodewordSchemeBase):
             self._check_region(region_id)
 
     def _check_region(self, region_id: int) -> None:
+        if region_id in self.maintainer.quarantined:
+            # Known-corrupt: refuse the read without re-folding bytes the
+            # codeword already convicted.
+            raise QuarantinedRegionError([region_id])
         self.precheck_count += 1
         # check_region() folds a zero-copy view of the region under the
         # exclusive protection latch and charges the cost-model events.
         if not self.maintainer.check_region(region_id):
             self.precheck_failures += 1
+            if self.maintainer.quarantine_on_detect:
+                self.maintainer.quarantine([region_id])
+                raise QuarantinedRegionError([region_id])
             raise CorruptionDetected([region_id], context="read precheck")
 
     def on_operation_end(self, txn: Transaction) -> None:

@@ -66,6 +66,39 @@ class AuditFailure(CorruptionDetected):
         self.clean_audit_lsn = clean_audit_lsn
 
 
+class QuarantinedRegionError(CorruptionDetected):
+    """A prescribed read touched a region held in quarantine.
+
+    Under ``DBConfig(quarantine=True)`` a failed audit or precheck places
+    the corrupt regions in a quarantine set instead of aborting the
+    system; a later read overlapping a quarantined region raises this
+    (or triggers a transparent repair under ``quarantine_repair=True``)
+    so known-corrupt bytes are never served as data.  Subclasses
+    :class:`CorruptionDetected` so existing handlers keep working.
+    """
+
+    def __init__(self, region_ids: list[int], address: int = 0, length: int = 0):
+        super().__init__(list(region_ids), context="quarantined read")
+        self.address = address
+        self.length = length
+
+
+class SimulatedCrash(ReproError):
+    """An armed crash point fired (deterministic fault testing).
+
+    Raised by :class:`~repro.faults.crashpoints.CrashPointRegistry` when
+    execution reaches an armed point; carries the point name and the hit
+    count at which it fired so tests can assert exactly where the
+    simulated process died.  Callers are expected to treat the exception
+    as a process death: call :meth:`Database.crash` and recover.
+    """
+
+    def __init__(self, point: str, hit: int = 1):
+        super().__init__(f"simulated crash at {point!r} (hit {hit})")
+        self.point = point
+        self.hit = hit
+
+
 class LatchError(ReproError):
     """Latch misuse: double release, upgrade deadlock, wrong owner."""
 

@@ -1,5 +1,22 @@
-"""Fault injection: the addressing errors the paper defends against."""
+"""Fault injection: the addressing errors the paper defends against,
+plus named crash points at every durability boundary and the campaign
+runner that schedules both (``repro.faults.campaign``, imported lazily
+to keep this package light)."""
 
-from repro.faults.injector import CorruptionEvent, FaultInjector
+from repro.faults.crashpoints import (
+    CRASH_POINTS,
+    FORWARD_CRASH_POINTS,
+    RECOVERY_CRASH_POINTS,
+    CrashPointRegistry,
+)
+from repro.faults.injector import CorruptionEvent, FaultInjector, tear_log_tail
 
-__all__ = ["FaultInjector", "CorruptionEvent"]
+__all__ = [
+    "FaultInjector",
+    "CorruptionEvent",
+    "tear_log_tail",
+    "CrashPointRegistry",
+    "CRASH_POINTS",
+    "FORWARD_CRASH_POINTS",
+    "RECOVERY_CRASH_POINTS",
+]

@@ -1,0 +1,569 @@
+"""Seeded fault campaigns: randomized schedules scored against ground truth.
+
+A *schedule* is one randomized run: a small transaction workload with one
+addressing fault (Section 3's error model: wild writes, bit flips, copy
+overruns) or a torn flush injected mid-stream, optionally composed with a
+deterministic crash at a named durability boundary
+(:mod:`repro.faults.crashpoints`).  The campaign replays many schedules
+per (seed, scheme) configuration and scores what the protection stack
+reported against the injector's ground-truth event list:
+
+* **detection stage + latency** -- which mechanism caught the fault
+  (read precheck, periodic audit, checkpoint certification, the final
+  sweep) and how many operations after injection;
+* **false negatives** -- a direct in-image fault that survives to the end
+  of the schedule undetected by a *full* audit.  A fault erased by a
+  crash (the corruption lived only in volatile state recovery rebuilds)
+  is scored ``erased``, not a false negative -- the final full audit
+  proves the image clean;
+* **repair correctness** -- after detection, the scheme-appropriate
+  repair (cache recovery for audit-based schemes, delete-transaction
+  restart recovery for read logging) must leave a fully clean image and
+  committed values intact;
+* **quarantine honesty** -- once a region is quarantined, reads
+  overlapping it must raise
+  :class:`~repro.errors.QuarantinedRegionError`; a read that returns
+  bytes differing from the last committed value is *served garbage* and
+  fails the campaign.
+
+Determinism: every schedule derives its own ``random.Random`` from the
+string ``"{seed}:{scheme}:{index}"`` (string seeding is stable across
+processes, unlike ``hash``), so a campaign is exactly reproducible from
+its spec.
+"""
+
+from __future__ import annotations
+
+import os
+import random
+import shutil
+from dataclasses import dataclass, field
+
+from repro.errors import (
+    ConfigError,
+    CorruptionDetected,
+    QuarantinedRegionError,
+    SimulatedCrash,
+)
+from repro.faults.crashpoints import (
+    FORWARD_CRASH_POINTS,
+    RECOVERY_CRASH_POINTS,
+)
+from repro.faults.injector import FaultInjector
+from repro.txn.transaction import TxnStatus
+
+#: Fault kinds that scribble directly on the in-memory image -- the class
+#: the codeword schemes must detect (zero false negatives required).
+DIRECT_FAULT_KINDS = ("corrupt_record", "wild_write", "bit_flip", "copy_overrun")
+
+#: Scheme stacks a default campaign exercises (ISSUE acceptance set).
+DEFAULT_SCHEMES = (
+    "data_codeword",
+    "read_precheck",
+    "read_logging",
+    "data_cw+cw_read_logging",
+)
+
+
+@dataclass(frozen=True)
+class CampaignSpec:
+    """Shape of one campaign (everything needed to reproduce it)."""
+
+    seeds: tuple[int, ...] = (1, 2, 3)
+    schemes: tuple[str, ...] = DEFAULT_SCHEMES
+    schedules_per_config: int = 17
+    ops_per_schedule: int = 24
+    accounts: int = 16
+    region_size: int = 256
+
+    @property
+    def total_schedules(self) -> int:
+        return len(self.seeds) * len(self.schemes) * self.schedules_per_config
+
+
+@dataclass
+class ScheduleOutcome:
+    """Score of one schedule against the injector's ground truth."""
+
+    scheme: str
+    seed: int
+    index: int
+    fault_kind: str
+    fault_op: int
+    crash_point: str | None = None
+    crashed: bool = False
+    detection_stage: str = "none"
+    detection_op: int | None = None
+    false_negative: bool = False
+    repaired: bool = False
+    repair_ok: bool = True
+    value_ok: bool = True
+    quarantine_blocked: int = 0
+    quarantine_served_garbage: bool = False
+    recovery_reruns: int = 0
+    deleted_committed: int = 0
+    error: str | None = None
+
+    @property
+    def detection_latency(self) -> int | None:
+        if self.detection_op is None:
+            return None
+        return self.detection_op - self.fault_op
+
+
+@dataclass
+class CampaignResult:
+    """All schedule outcomes plus the per-scheme scoreboard."""
+
+    spec: CampaignSpec
+    outcomes: list[ScheduleOutcome] = field(default_factory=list)
+
+    @property
+    def false_negatives(self) -> list[ScheduleOutcome]:
+        return [o for o in self.outcomes if o.false_negative]
+
+    @property
+    def garbage_served(self) -> list[ScheduleOutcome]:
+        return [o for o in self.outcomes if o.quarantine_served_garbage]
+
+    @property
+    def errors(self) -> list[ScheduleOutcome]:
+        return [o for o in self.outcomes if o.error is not None]
+
+    def scoreboard(self) -> dict[str, dict]:
+        """Per-scheme aggregate: detection, latency, repair, quarantine."""
+        board: dict[str, dict] = {}
+        for scheme in self.spec.schemes:
+            rows = [o for o in self.outcomes if o.scheme == scheme]
+            direct = [o for o in rows if o.fault_kind in DIRECT_FAULT_KINDS]
+            latencies = [
+                o.detection_latency
+                for o in direct
+                if o.detection_latency is not None
+            ]
+            stages: dict[str, int] = {}
+            for o in rows:
+                stages[o.detection_stage] = stages.get(o.detection_stage, 0) + 1
+            repairs = [o for o in rows if o.repaired]
+            board[scheme] = {
+                "schedules": len(rows),
+                "direct_faults": len(direct),
+                "detected": sum(
+                    1 for o in direct if o.detection_op is not None
+                ),
+                "erased": sum(
+                    1 for o in direct if o.detection_stage == "erased"
+                ),
+                "false_negatives": sum(1 for o in direct if o.false_negative),
+                "mean_detection_latency_ops": (
+                    round(sum(latencies) / len(latencies), 2)
+                    if latencies
+                    else None
+                ),
+                "max_detection_latency_ops": max(latencies, default=None),
+                "stages": dict(sorted(stages.items())),
+                "repairs": len(repairs),
+                "repairs_ok": sum(1 for o in repairs if o.repair_ok),
+                "values_ok": sum(1 for o in rows if o.value_ok),
+                "quarantine_blocked_reads": sum(
+                    o.quarantine_blocked for o in rows
+                ),
+                "quarantine_served_garbage": sum(
+                    1 for o in rows if o.quarantine_served_garbage
+                ),
+                "crashes": sum(1 for o in rows if o.crashed),
+                "recovery_reruns": sum(o.recovery_reruns for o in rows),
+                "deleted_committed_txns": sum(
+                    o.deleted_committed for o in rows
+                ),
+                "errors": sum(1 for o in rows if o.error is not None),
+            }
+        return board
+
+    def to_payload(self) -> dict:
+        """JSON-ready summary (merged into ``BENCH_faults.json``)."""
+        return {
+            "spec": {
+                "seeds": list(self.spec.seeds),
+                "schemes": list(self.spec.schemes),
+                "schedules_per_config": self.spec.schedules_per_config,
+                "ops_per_schedule": self.spec.ops_per_schedule,
+                "accounts": self.spec.accounts,
+                "region_size": self.spec.region_size,
+            },
+            "schedules": len(self.outcomes),
+            "false_negatives": len(self.false_negatives),
+            "quarantine_served_garbage": len(self.garbage_served),
+            "errors": [
+                {
+                    "scheme": o.scheme,
+                    "seed": o.seed,
+                    "index": o.index,
+                    "error": o.error,
+                }
+                for o in self.errors
+            ],
+            "scoreboard": self.scoreboard(),
+        }
+
+
+class CampaignRunner:
+    """Replays a :class:`CampaignSpec` and scores every schedule."""
+
+    def __init__(self, spec: CampaignSpec, base_dir: str) -> None:
+        self.spec = spec
+        self.base_dir = base_dir
+
+    def run(self) -> CampaignResult:
+        result = CampaignResult(self.spec)
+        for scheme in self.spec.schemes:
+            for seed in self.spec.seeds:
+                for index in range(self.spec.schedules_per_config):
+                    outcome = self._run_schedule(scheme, seed, index)
+                    result.outcomes.append(outcome)
+        return result
+
+    # ------------------------------------------------------- one schedule
+
+    def _run_schedule(self, scheme: str, seed: int, index: int) -> ScheduleOutcome:
+        rng = random.Random(f"{seed}:{scheme}:{index}")
+        safe = scheme.replace("+", "_")
+        db_dir = os.path.join(self.base_dir, f"{safe}-s{seed}-{index}")
+        if os.path.exists(db_dir):
+            shutil.rmtree(db_dir)
+        schedule = _Schedule(self.spec, scheme, seed, index, db_dir, rng)
+        try:
+            return schedule.run()
+        except Exception as exc:  # scored, not raised: one bad schedule
+            # must not hide the rest of the campaign's scoreboard.
+            schedule.outcome.error = f"{type(exc).__name__}: {exc}"
+            return schedule.outcome
+        finally:
+            schedule.close()
+            shutil.rmtree(db_dir, ignore_errors=True)
+
+
+class _Schedule:
+    """One randomized schedule: workload, one fault, optional crash."""
+
+    def __init__(self, spec, scheme, seed, index, db_dir, rng) -> None:
+        self.spec = spec
+        self.scheme = scheme
+        self.db_dir = db_dir
+        self.rng = rng
+        self.db = None
+        self.injector: FaultInjector | None = None
+        self.slots: dict[int, int] = {}
+        #: Every value ever committed per account id (plus the initial
+        #: balance): after a crash or delete-transaction recovery the
+        #: surviving value must come from this set.
+        self.committed: dict[int, list[int]] = {}
+        self.outcome = ScheduleOutcome(
+            scheme=scheme, seed=seed, index=index, fault_kind="", fault_op=-1
+        )
+
+    # ------------------------------------------------------------- setup
+
+    def _build(self):
+        from repro import Database, DBConfig, Field, FieldType, Schema
+
+        schema = Schema(
+            [Field("id", FieldType.INT64), Field("balance", FieldType.INT64)]
+        )
+        config = DBConfig(
+            dir=self.db_dir,
+            scheme=self.scheme,
+            scheme_params={"region_size": self.spec.region_size},
+            quarantine=True,
+        )
+        db = Database(config)
+        db.create_table("acct", schema, capacity=max(64, self.spec.accounts * 2),
+                        key_field="id")
+        db.start()
+        return db
+
+    def close(self) -> None:
+        if self.db is not None:
+            try:
+                self.db.close()
+            except Exception:
+                pass
+
+    @property
+    def _logs_reads(self) -> bool:
+        return "read_logging" in self.scheme
+
+    def _abort_quietly(self, txn) -> None:
+        if txn.status is TxnStatus.ACTIVE:
+            self.db.abort(txn)
+
+    # --------------------------------------------------------------- run
+
+    def run(self) -> ScheduleOutcome:
+        spec, rng, out = self.spec, self.rng, self.outcome
+        self.db = self._build()
+        table = self.db.table("acct")
+        txn = self.db.begin()
+        for i in range(spec.accounts):
+            balance = 1000 + i
+            self.slots[i] = table.insert(
+                txn, {"id": i, "balance": balance}
+            )
+            self.committed[i] = [balance]
+        self.db.commit(txn)
+        self.db.checkpoint()
+        self.injector = FaultInjector(self.db, seed=rng.randrange(2**31))
+
+        ops = spec.ops_per_schedule
+        out.fault_op = rng.randrange(2, max(3, ops - 4))
+        out.fault_kind = rng.choices(
+            ["corrupt_record", "wild_write", "bit_flip", "copy_overrun",
+             "torn_crash"],
+            weights=[4, 2, 2, 1, 1],
+        )[0]
+        checkpoint_op = ops // 2
+        audit_every = 5
+        arm_op: int | None = None
+        if out.fault_kind in DIRECT_FAULT_KINDS and rng.random() < 0.35:
+            out.crash_point = rng.choice(FORWARD_CRASH_POINTS)
+            arm_op = rng.randrange(out.fault_op, ops)
+
+        op = 0
+        while op < ops:
+            if op == out.fault_op:
+                self._inject(op)
+            if arm_op is not None and op == arm_op:
+                self.db.crashpoints.arm(out.crash_point)
+                arm_op = None
+            try:
+                if op == checkpoint_op:
+                    result = self.db.checkpoint()
+                    if not result.certified:
+                        self._on_detect("checkpoint", op)
+                        return self._repair_and_score(result.audit_report)
+                elif op % audit_every == audit_every - 1:
+                    report = self.db.audit()
+                    if not report.clean:
+                        self._on_detect("audit", op)
+                        return self._repair_and_score(report)
+                else:
+                    self._workload_op(op)
+            except (QuarantinedRegionError, CorruptionDetected):
+                # First detection on the read path is always the precheck
+                # itself (the quarantine guard can only block regions an
+                # earlier detection already convicted).
+                self._on_detect("precheck", op)
+                return self._repair_and_score(None)
+            except SimulatedCrash:
+                self._crash_and_recover()
+            op += 1
+        return self._final_score()
+
+    # ---------------------------------------------------------- workload
+
+    def _workload_op(self, op: int) -> None:
+        rng = self.rng
+        acct = rng.randrange(self.spec.accounts)
+        db, table = self.db, self.db.table("acct")
+        if rng.random() < 0.6:
+            value = rng.randrange(1, 10**6)
+            txn = db.begin()
+            try:
+                table.update(txn, self.slots[acct], {"balance": value})
+            except Exception:
+                db.abort(txn)
+                raise
+            try:
+                db.commit(txn)
+            except SimulatedCrash:
+                # A crash mid-commit-flush: the value may or may not have
+                # become durable.  Either way it is a legitimately
+                # prescribed value, so admit it to the acceptable set.
+                self.committed[acct].append(value)
+                raise
+            self.committed[acct].append(value)
+        else:
+            txn = db.begin()
+            try:
+                table.read(txn, self.slots[acct])
+            finally:
+                self._abort_quietly(txn)
+
+    def _inject(self, op: int) -> None:
+        kind, rng, inj = self.outcome.fault_kind, self.rng, self.injector
+        if kind == "corrupt_record":
+            acct = rng.randrange(self.spec.accounts)
+            inj.corrupt_record("acct", self.slots[acct])
+        elif kind == "wild_write":
+            inj.wild_write(length=rng.choice([1, 4, 8, 16]))
+        elif kind == "bit_flip":
+            inj.bit_flip()
+        elif kind == "copy_overrun":
+            acct = rng.randrange(self.spec.accounts)
+            inj.copy_overrun("acct", self.slots[acct], overrun=rng.choice([4, 8, 16]))
+        elif kind == "torn_crash":
+            # A real crash whose final flush is torn: crash first (the
+            # append handle must be closed before the file is cut).
+            self.outcome.crashed = True
+            self.db.crash()
+            inj.torn_flush()
+            self._reopen()
+        else:  # pragma: no cover - spec'd kinds only
+            raise ConfigError(f"unknown fault kind {kind!r}")
+
+    # ----------------------------------------------------- crash/recover
+
+    def _crash_and_recover(self) -> None:
+        self.outcome.crashed = True
+        self.db.crash()
+        self._reopen()
+
+    def _reopen(self) -> None:
+        from repro import Database
+
+        config = self.db.config
+        # The registry rides across the crash so a recovery crash point
+        # armed before crash_with_corruption fires mid-recovery; it is
+        # one-shot, so the re-run converges instead of crash-looping.
+        registry = self.db.crashpoints
+        while True:
+            try:
+                self.db, report = Database.recover(config, crashpoints=registry)
+                break
+            except SimulatedCrash:
+                self.outcome.recovery_reruns += 1
+        self.outcome.deleted_committed += len(report.deleted_committed)
+        self.injector.db = self.db
+
+    # ------------------------------------------------------------ scoring
+
+    def _on_detect(self, stage: str, op: int) -> None:
+        if self.outcome.detection_op is None:
+            self.outcome.detection_stage = stage
+            self.outcome.detection_op = op
+
+    def _full_audit(self):
+        """Ground-truth audit: full sweep, no quarantine skip."""
+        return self.db.auditor.run()
+
+    def _affected_accounts(self) -> list[int]:
+        """Account ids whose record bytes a direct fault overlapped."""
+        table = self.db.table("acct")
+        size = table.schema.record_size
+        hits: list[int] = []
+        for event in self.injector.events:
+            if event.kind == "torn_flush":
+                continue
+            lo, hi = event.address, event.address + event.length
+            for acct, slot in self.slots.items():
+                start = table.record_address(slot)
+                if start < hi and lo < start + size:
+                    hits.append(acct)
+        return sorted(set(hits))
+
+    def _probe_quarantine(self) -> None:
+        """Reads overlapping quarantined regions must be vetoed."""
+        db, out = self.db, self.outcome
+        table = db.table("acct")
+        maintainer = db.pipeline.maintainer
+        cw_table = maintainer.table
+        for acct in self._affected_accounts():
+            slot = self.slots[acct]
+            start = table.record_address(slot)
+            regions = cw_table.regions_spanning(start, table.schema.record_size)
+            if not maintainer.quarantined.intersection(regions):
+                continue
+            txn = db.begin()
+            try:
+                row = table.read(txn, slot)
+            except QuarantinedRegionError:
+                out.quarantine_blocked += 1
+            else:
+                if row["balance"] not in self.committed[acct]:
+                    out.quarantine_served_garbage = True
+            finally:
+                self._abort_quietly(txn)
+
+    def _repair_and_score(self, report) -> ScheduleOutcome:
+        """Detection happened: quarantine-probe, repair, verify."""
+        db, out = self.db, self.outcome
+        if report is None or report.clean:
+            # Exception-detected (precheck/guard): an audit convicts and
+            # quarantines the regions so the probe and repair have ids.
+            report = db.audit()
+        elif report.corrupt_regions:
+            # Checkpoint-certification reports never quarantine on their
+            # own (certification must see the whole image); feed the
+            # convicted regions to the quarantine by hand.
+            db.pipeline.maintainer.quarantine(report.corrupt_regions)
+        self._probe_quarantine()
+        out.repaired = True
+        if self._logs_reads:
+            # Read logging: transaction-carried corruption is possible;
+            # the paper's answer is crash + delete-transaction recovery.
+            if report.clean:  # pragma: no cover - detection implies dirty
+                raise ConfigError("repair without a failing audit")
+            crashpoints = db.crashpoints
+            if self.rng.random() < 0.5:
+                crashpoints.arm(self.rng.choice(RECOVERY_CRASH_POINTS))
+            out.crashed = True
+            db.crash_with_corruption(report)
+            self._reopen()
+            db = self.db
+        else:
+            db.repair_quarantined()
+        final = self._full_audit()
+        out.repair_ok = final.clean
+        self._score_values()
+        return out
+
+    def _final_score(self) -> ScheduleOutcome:
+        """No detection during the run: the final full sweep decides."""
+        out = self.outcome
+        final = self._full_audit()
+        if not final.clean:
+            self._on_detect("audit", self.spec.ops_per_schedule)
+            return self._repair_and_score(final)
+        if out.fault_kind in DIRECT_FAULT_KINDS and out.detection_op is None:
+            if out.crashed:
+                # The corruption lived only in volatile state a crash
+                # discarded; the clean full audit proves the image whole.
+                out.detection_stage = "erased"
+            else:
+                out.false_negative = True
+        self._score_values()
+        return out
+
+    def _score_values(self) -> None:
+        """Committed values must survive repair/recovery.
+
+        Without a crash the last committed value must be exact; after a
+        crash (lost group-commit window, rolled-back or deleted
+        transactions) any value this schedule ever committed -- including
+        the initial balance -- is acceptable, but bytes from outside that
+        set are corruption served as data.
+        """
+        db, out = self.db, self.outcome
+        table = db.table("acct")
+        exact = not out.crashed
+        for acct, slot in self.slots.items():
+            txn = db.begin()
+            try:
+                row = table.read(txn, slot)
+            except (QuarantinedRegionError, CorruptionDetected):
+                # Still fenced: honest, but the repair did not finish.
+                out.repair_ok = False
+                continue
+            finally:
+                self._abort_quietly(txn)
+            if exact:
+                if row["balance"] != self.committed[acct][-1]:
+                    out.value_ok = False
+            elif row["balance"] not in self.committed[acct]:
+                out.value_ok = False
+
+
+def run_campaign(spec: CampaignSpec, base_dir: str) -> CampaignResult:
+    """Convenience wrapper: build a runner and run the whole campaign."""
+    os.makedirs(base_dir, exist_ok=True)
+    return CampaignRunner(spec, base_dir).run()

@@ -1,0 +1,187 @@
+"""Named crash points at every durability boundary.
+
+The paper's recovery claims are about what survives a crash *at the worst
+possible moment*: between the bytes of a log flush, between a checkpoint
+image and its anchor, in the middle of recovery itself.  Hand-rolled
+simulations of those moments (monkeypatched methods, manual file
+truncation) drift from the real code paths; a crash point is the real
+code path asking permission to continue.
+
+The instrumented boundaries:
+
+========================== =====================================================
+``wal.flush.pre``          inside :meth:`SystemLog.flush`, after the latch and
+                           the empty-tail early return, before any byte is
+                           written -- the whole flush is lost
+``wal.flush.mid``          after a *prefix* of the flush buffer reached disk --
+                           the classic torn flush, composing with the frame-CRC
+                           torn-tail detection (payload: ``keep_bytes`` or
+                           ``keep_fraction``, default half the buffer)
+``wal.flush.post``         after write+flush, before the in-memory counters
+                           advance -- the bytes are durable, the process is not
+``checkpoint.pre_image``   before ``_write_image`` of the next ping-pong image
+``checkpoint.after_image`` image written, meta not
+``checkpoint.after_meta``  image+meta written, certification audit not run
+``checkpoint.pre_anchor``  certified, one ``os.replace`` short of anchored
+``checkpoint.after_anchor`` anchor names the new image; crash is benign
+``recovery.after_redo``    redo phase done, torn tail truncated, undo not begun
+``recovery.mid_undo``      physical (level-0) undo applied and codewords
+                           rebuilt; logical undo not begun
+``recovery.after_undo``    undo complete (compensations logged), finish not
+``recovery.pre_complete``  before amendments + the final recovery checkpoint
+``archive.after_restore``  archive files copied over, replay not begun
+========================== =====================================================
+
+The registry is a null object: every :class:`~repro.storage.database.Database`
+owns one, and an un-armed ``reach`` is a dict lookup -- instrumented code
+needs no ``if``.  Arming is one-shot: a point fires once, disarms itself,
+and records the firing, so recovery re-runs after a simulated crash do not
+crash again at the same place.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+
+from repro.errors import ConfigError, SimulatedCrash
+
+#: Every crash point the runtime reaches, in rough execution order.
+CRASH_POINTS: tuple[str, ...] = (
+    "wal.flush.pre",
+    "wal.flush.mid",
+    "wal.flush.post",
+    "checkpoint.pre_image",
+    "checkpoint.after_image",
+    "checkpoint.after_meta",
+    "checkpoint.pre_anchor",
+    "checkpoint.after_anchor",
+    "recovery.after_redo",
+    "recovery.mid_undo",
+    "recovery.after_undo",
+    "recovery.pre_complete",
+    "archive.after_restore",
+)
+
+#: Points inside :meth:`RestartRecovery.run` -- the idempotence property
+#: quantifies over exactly these (crash at any of them, re-run, converge).
+RECOVERY_CRASH_POINTS: tuple[str, ...] = (
+    "recovery.after_redo",
+    "recovery.mid_undo",
+    "recovery.after_undo",
+    "recovery.pre_complete",
+)
+
+#: Points reached during normal forward processing (commit flushes and
+#: checkpoints) -- what a fault campaign arms mid-workload.
+FORWARD_CRASH_POINTS: tuple[str, ...] = (
+    "wal.flush.pre",
+    "wal.flush.mid",
+    "wal.flush.post",
+    "checkpoint.pre_image",
+    "checkpoint.after_image",
+    "checkpoint.after_meta",
+    "checkpoint.pre_anchor",
+    "checkpoint.after_anchor",
+)
+
+_VALID = frozenset(CRASH_POINTS)
+
+
+@dataclass
+class ArmedPoint:
+    """One armed crash point: fire on the ``hit``-th traversal."""
+
+    point: str
+    hit: int
+    payload: dict = field(default_factory=dict)
+
+
+class CrashPointRegistry:
+    """Arms, counts and fires named crash points.
+
+    ``reach(point)`` is called by instrumented code every time execution
+    passes the point.  If the point is armed and this is the armed
+    traversal, the point disarms itself and a
+    :class:`~repro.errors.SimulatedCrash` is raised -- unless the caller
+    passed ``defer=True``, in which case the armed record is returned so
+    the caller can perform the crash's side effects (e.g. write a torn
+    prefix) before calling :meth:`crash` itself.
+    """
+
+    def __init__(self) -> None:
+        self._armed: dict[str, ArmedPoint] = {}
+        #: Traversal counts per point since construction/:meth:`reset`.
+        self.hits: Counter[str] = Counter()
+        #: Points that actually fired, in order.
+        self.fired: list[str] = []
+
+    # ------------------------------------------------------------ arming
+
+    def arm(self, point: str, *, hit: int = 1, **payload) -> "CrashPointRegistry":
+        """Arm ``point`` to fire on its ``hit``-th traversal *from now on*.
+
+        ``hit`` counts cumulative traversals since the registry was
+        created or :meth:`reset`; arm before the run you are aiming at.
+        Extra keyword arguments ride along as the point's payload (e.g.
+        ``keep_bytes`` for ``wal.flush.mid``).  Returns ``self`` so tests
+        can write ``CrashPointRegistry().arm("recovery.after_redo")``.
+        """
+        self._validate(point)
+        if hit < 1:
+            raise ConfigError(f"hit must be >= 1: {hit}")
+        self._armed[point] = ArmedPoint(point, hit, dict(payload))
+        return self
+
+    def disarm(self, point: str) -> None:
+        self._armed.pop(point, None)
+
+    def armed_points(self) -> tuple[str, ...]:
+        return tuple(sorted(self._armed))
+
+    def reset(self) -> None:
+        """Forget armed points, traversal counts and firing history."""
+        self._armed.clear()
+        self.hits.clear()
+        self.fired.clear()
+
+    # ------------------------------------------------------------ firing
+
+    def reach(self, point: str, defer: bool = False) -> ArmedPoint | None:
+        """Record a traversal of ``point``; fire if armed for this hit.
+
+        Returns ``None`` when nothing fires.  With ``defer=True`` the
+        armed record is returned instead of raising, and the caller must
+        finish with :meth:`crash` after performing the crash's partial
+        side effects.
+        """
+        self._validate(point)
+        self.hits[point] += 1
+        armed = self._armed.get(point)
+        if armed is None or self.hits[point] < armed.hit:
+            return None
+        del self._armed[point]  # one-shot: never fire twice
+        if defer:
+            return armed
+        self.crash(point)
+        return None  # pragma: no cover - crash() always raises
+
+    def crash(self, point: str) -> None:
+        """Raise the :class:`SimulatedCrash` for a (deferred) firing."""
+        self._validate(point)
+        self.fired.append(point)
+        raise SimulatedCrash(point, self.hits[point])
+
+    # ----------------------------------------------------------- helpers
+
+    @staticmethod
+    def _validate(point: str) -> None:
+        if point not in _VALID:
+            known = ", ".join(CRASH_POINTS)
+            raise ConfigError(f"unknown crash point {point!r}; known: {known}")
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"CrashPointRegistry(armed={sorted(self._armed)}, "
+            f"fired={self.fired})"
+        )

@@ -19,10 +19,82 @@ import random
 from dataclasses import dataclass
 from typing import TYPE_CHECKING
 
-from repro.errors import ConfigError
+from repro.errors import ConfigError, LogError
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.storage.database import Database
+
+
+def _frame_starts(path: str) -> list[int]:
+    """Byte offset of every decodable ``(lsn, frame)`` in a stable log.
+
+    Walks the file exactly like :meth:`SystemLog.scan` (8-byte LSN header
+    then a CRC-framed record), stopping at the first undecodable frame,
+    so trailing torn-tail garbage is not counted as a frame.
+    """
+    # Imported here, not at module top: the system log itself imports
+    # ``repro.faults`` (for crash points), so a top-level wal import
+    # would be circular.
+    from repro.wal.records import decode_record
+
+    with open(path, "rb") as handle:
+        view = memoryview(handle.read())
+    size = len(view)
+    starts: list[int] = []
+    offset = 0
+    while offset + 8 <= size:
+        start = offset
+        try:
+            _record, offset = decode_record(view, offset + 8, frozenset())
+        except LogError:
+            break
+        starts.append(start)
+    return starts
+
+
+def tear_log_tail(
+    path: str,
+    cut: int | None = None,
+    frames: int | None = None,
+    rng: random.Random | None = None,
+) -> bytes:
+    """Chop the tail off a stable log file; returns the removed bytes.
+
+    Two modes, mutually exclusive:
+
+    * ``cut=N`` (or neither argument, for a random sliver): remove the
+      last ``N`` bytes, usually leaving the file ending mid-frame -- the
+      classic torn flush the frame CRC detects;
+    * ``frames=K``: remove the last ``K`` whole frames at a frame
+      boundary (plus any trailing undecodable garbage), leaving a
+      *clean* shorter log -- the group-commit loss case, where a crash
+      swallows whole buffered commits and no tear is ever detected.
+    """
+    size = os.path.getsize(path)
+    if size == 0:
+        raise ConfigError("stable log is empty; nothing to tear")
+    if frames is not None:
+        if cut is not None:
+            raise ConfigError("pass cut= or frames=, not both")
+        if frames <= 0:
+            raise ConfigError(f"frames must be positive: {frames}")
+        starts = _frame_starts(path)
+        if frames > len(starts):
+            raise ConfigError(
+                f"log has only {len(starts)} whole frame(s); cannot tear "
+                f"{frames}"
+            )
+        cut = size - starts[len(starts) - frames]
+    elif cut is None:
+        rng = rng if rng is not None else random.Random()
+        cut = rng.randrange(1, min(size, 16) + 1)
+    if not 0 < cut <= size:
+        raise ConfigError(f"cut must be in [1, {size}]: {cut}")
+    with open(path, "r+b") as handle:
+        handle.seek(size - cut)
+        removed = handle.read(cut)
+        handle.truncate(size - cut)
+    return removed
 
 
 @dataclass(frozen=True)
@@ -96,7 +168,9 @@ class FaultInjector:
         self.events.append(event)
         return event
 
-    def torn_flush(self, cut: int | None = None) -> CorruptionEvent:
+    def torn_flush(
+        self, cut: int | None = None, frames: int | None = None
+    ) -> CorruptionEvent:
         """A crash mid-flush: the last bytes of a stable-log write are lost.
 
         Chops ``cut`` bytes (default: a random sliver of the final
@@ -105,22 +179,18 @@ class FaultInjector:
         the next ``scan`` detects the tear via the frame CRC and sets
         ``torn_tail_detected``; restart recovery truncates it.
 
+        ``frames=K`` instead removes the last ``K`` *whole* frames at a
+        frame boundary, leaving a clean shorter log: the group-commit
+        loss case, where a crash swallows entire buffered commits and no
+        tear is detectable (see :func:`tear_log_tail`).
+
         The event's ``address`` is the surviving file length and ``old``
         holds the bytes that were torn off (ground truth for tests).
         """
         path = self.db.system_log.path
         size = os.path.getsize(path)
-        if size == 0:
-            raise ConfigError("stable log is empty; nothing to tear")
-        if cut is None:
-            cut = self.rng.randrange(1, min(size, 16) + 1)
-        if not 0 < cut <= size:
-            raise ConfigError(f"cut must be in [1, {size}]: {cut}")
-        with open(path, "r+b") as handle:
-            handle.seek(size - cut)
-            removed = handle.read(cut)
-            handle.truncate(size - cut)
-        event = CorruptionEvent("torn_flush", size - cut, removed, b"")
+        removed = tear_log_tail(path, cut=cut, frames=frames, rng=self.rng)
+        event = CorruptionEvent("torn_flush", size - len(removed), removed, b"")
         self.events.append(event)
         return event
 
@@ -137,7 +207,15 @@ class FaultInjector:
         if not data_segments:
             raise ConfigError("no data segments to corrupt")
         segment = self.rng.choice(data_segments)
-        return segment.base + self.rng.randrange(max(1, segment.size - length))
+        max_offset = segment.size - length
+        if max_offset < 0:
+            # Fault longer than the segment: start at the segment base
+            # (poke spans segments), clamped so the span stays in memory.
+            return min(segment.base, max(0, self.db.memory.size - length))
+        # randrange(max_offset + 1) so the fault can start at *every*
+        # in-bounds offset, including the one that ends flush against the
+        # segment's last byte.
+        return segment.base + self.rng.randrange(max_offset + 1)
 
     def _differing_bytes(self, address: int, length: int) -> bytes:
         """Random bytes guaranteed to differ from current content."""

@@ -25,7 +25,7 @@ import shutil
 from dataclasses import dataclass
 from typing import TYPE_CHECKING
 
-from repro.errors import RecoveryError
+from repro.errors import RecoveryError, SimulatedCrash
 from repro.recovery.checkpoint import ANCHOR_FILE
 from repro.recovery.restart import (
     CorruptionContext,
@@ -84,7 +84,7 @@ def read_archive_info(archive_dir: str) -> ArchiveInfo:
 
 
 def recover_from_archive(
-    config: "DBConfig", archive_dir: str
+    config: "DBConfig", archive_dir: str, crashpoints=None
 ) -> tuple["Database", RecoveryReport]:
     """Media recovery: restore the archive, replay the amended log.
 
@@ -93,6 +93,12 @@ def recover_from_archive(
     LSNs after the archive's ``CK_end`` reconstruct the corruption
     contexts of every corruption recovery that happened since the archive
     was taken, so the replay deletes the same transactions again.
+
+    ``crashpoints`` (a :class:`~repro.faults.crashpoints.CrashPointRegistry`)
+    rides into the database; ``archive.after_restore`` fires after the
+    checkpoint files are copied but before replay begins.  Media recovery
+    is restartable from that state: the copied files are the archive's
+    own bytes, so running it again converges.
     """
     from repro.storage.database import Database
 
@@ -101,7 +107,8 @@ def recover_from_archive(
         source = os.path.join(archive_dir, filename)
         shutil.copy2(source, os.path.join(config.dir, filename))
 
-    db = Database(config)
+    db = Database(config, crashpoints=crashpoints)
+    db.crashpoints.reach("archive.after_restore")
     db._load_catalog()
     db._build_layout()
     db._open_log_and_manager()
@@ -132,6 +139,10 @@ def recover_from_archive(
         contexts.append(live)
 
     recovery = RestartRecovery(db, contexts if contexts else None)
-    report = recovery.run()
+    try:
+        report = recovery.run()
+    except SimulatedCrash:
+        db.crash()
+        raise
     db._started = True
     return db, report

@@ -71,6 +71,11 @@ def repair_regions(db: "Database", region_ids: list[int]) -> int:
         finally:
             if latch is not None:
                 region_latch.release()
+    maintainer = getattr(db.scheme, "maintainer", None)
+    if maintainer is not None:
+        # A repaired region matches its (recomputed) codeword again;
+        # release it from quarantine so reads flow.
+        maintainer.unquarantine(region_ids)
     return repaired
 
 

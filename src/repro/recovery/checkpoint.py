@@ -84,15 +84,22 @@ class Checkpointer:
         the whole image, not just the write working set.
         """
         db = self.db
+        crashpoints = db.crashpoints
         ck_end = db.system_log.flush()
         anchor = self.read_anchor()
         image = "A" if anchor is None or anchor["image"] == "B" else "B"
 
         pages = sorted(db.memory.dirty_pages.pending_for(image))
+        # A crash anywhere before the anchor replace must be invisible:
+        # only the non-anchored ping-pong image is touched, so load_latest
+        # keeps returning the previous consistent checkpoint.
+        crashpoints.reach("checkpoint.pre_image")
         self._write_image(image, pages)
+        crashpoints.reach("checkpoint.after_image")
         att_bytes = db.manager.att.encode()
         audit_sn = db.auditor.last_clean_audit_lsn
         self._write_meta(image, ck_end, audit_sn, att_bytes)
+        crashpoints.reach("checkpoint.after_meta")
         db.memory.dirty_pages.clear_for(image, pages)
         self.checkpoints_taken += 1
 
@@ -110,7 +117,9 @@ class Checkpointer:
             audit_sn = db.auditor.last_clean_audit_lsn
             self._write_meta(image, ck_end, audit_sn, att_bytes)
 
+        crashpoints.reach("checkpoint.pre_anchor")
         self._write_anchor({"image": image, "ck_end": ck_end})
+        crashpoints.reach("checkpoint.after_anchor")
         return CheckpointResult(image, ck_end, len(pages), True, report)
 
     def _write_image(self, image: str, pages: list[int]) -> None:

@@ -288,12 +288,25 @@ class RestartRecovery:
     # --------------------------------------------------------------- run
 
     def run(self) -> RecoveryReport:
+        """Run recovery; every phase boundary is a registered crash point.
+
+        Recovery is *idempotent* across those points: crashing at any of
+        them and re-running converges to a byte-identical image and an
+        equivalent report.  Before ``recovery.after_undo`` the stable
+        inputs are unchanged (torn-tail truncation is itself idempotent);
+        after it, the log additionally carries committed compensation
+        transactions, which a re-run replays in its redo phase and then
+        skips in its undo phase (lenient logical undo + the rule that
+        ``is_recovery`` transactions are never recruited).
+        """
         db = self.db
+        crashpoints = db.crashpoints
         image, ck_end, _meta_audit_sn, att_bytes = db.checkpointer.load_latest()
         self.report.ck_end = ck_end
         self._load_checkpointed_att(att_bytes)
         self._seed_due_contexts(ck_end)
         last_lsn = self._redo_phase(ck_end)
+        crashpoints.reach("recovery.after_redo")
         # The system log was reopened in append mode with fresh counters;
         # resume LSN assignment after the last stable record.
         db.system_log.next_lsn = last_lsn + 1
@@ -301,6 +314,7 @@ class RestartRecovery:
         db.manager._next_txn_id = self._max_txn_id + 1
         db.manager._next_seq = self._seq + 1
         self._undo_phase()
+        crashpoints.reach("recovery.after_undo")
         self._finish()
         return self.report
 
@@ -538,6 +552,10 @@ class RestartRecovery:
         # Codewords now match the post-physical-undo image; hardware
         # protection re-covers the pages.
         db.scheme.startup()
+        # Level-0 state is consistent, logical compensation has not begun;
+        # everything so far was volatile, so a crash here re-runs from the
+        # same stable inputs.
+        db.crashpoints.reach("recovery.mid_undo")
         # Higher levels: execute logical undo operations through the full
         # prescribed machinery, newest first.  Each runs in its own
         # recovery transaction so locks release immediately.
@@ -565,6 +583,7 @@ class RestartRecovery:
         """Amend the log, then checkpoint so a further crash cannot
         rediscover the corruption."""
         db = self.db
+        db.crashpoints.reach("recovery.pre_complete")
         self._write_amendments()
         db.memory.dirty_pages.mark_all_dirty(db.memory.iter_pages())
         # Corruption recovery must certify the whole image, not just the

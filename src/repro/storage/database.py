@@ -31,7 +31,14 @@ from dataclasses import dataclass, field as dc_field
 from repro.core.audit import AuditReport, Auditor
 from repro.core.pipeline import ProtectionPipeline
 from repro.core.schemes import ProtectionScheme, make_scheme
-from repro.errors import ConfigError, ReproError, TransactionError
+from repro.errors import (
+    ConfigError,
+    QuarantinedRegionError,
+    ReproError,
+    SimulatedCrash,
+    TransactionError,
+)
+from repro.faults.crashpoints import CrashPointRegistry
 from repro.mem.allocator import SlotAllocator
 from repro.mem.memory import MemoryImage
 from repro.sim.clock import Meter, VirtualClock
@@ -78,6 +85,20 @@ class DBConfig:
     #: -- it is a correctness knob, not a tuning knob.
     audit_mode: str = "full"
     full_sweep_every: int = 8
+    #: Corrupt-region quarantine (graceful degradation): a failed audit or
+    #: precheck records the corrupt regions in the maintainer's quarantine
+    #: set instead of requiring an immediate crash; later prescribed reads
+    #: overlapping a quarantined region raise
+    #: :class:`~repro.errors.QuarantinedRegionError`, and routine audits
+    #: skip-and-report quarantined regions rather than re-failing on them.
+    #: Checkpoint *certification* never skips -- an image with known-bad
+    #: bytes must not certify.  Requires a codeword scheme.
+    quarantine: bool = False
+    #: With repair enabled (implies ``quarantine``), a read overlapping a
+    #: quarantined region transparently repairs it first -- checkpoint
+    #: image + overlapping log records, the Section 4.1/4.2 cache-recovery
+    #: machinery -- and then proceeds instead of raising.
+    quarantine_repair: bool = False
 
 
 @dataclass
@@ -93,8 +114,14 @@ class _TableDef:
 class Database:
     """A main-memory database with pluggable corruption protection."""
 
-    def __init__(self, config: DBConfig) -> None:
+    def __init__(
+        self, config: DBConfig, crashpoints: CrashPointRegistry | None = None
+    ) -> None:
         self.config = config
+        #: Deterministic fault hooks at every durability boundary; inert
+        #: unless a test or campaign arms a point.  Shared with the system
+        #: log, checkpointer and recovery.
+        self.crashpoints = crashpoints if crashpoints is not None else CrashPointRegistry()
         if config.group_commit_size < 1:
             raise ConfigError(
                 f"group_commit_size must be >= 1: {config.group_commit_size}"
@@ -120,6 +147,14 @@ class Database:
             if isinstance(built, ProtectionPipeline)
             else ProtectionPipeline([built])
         )
+        self.quarantine_enabled = bool(config.quarantine or config.quarantine_repair)
+        if self.quarantine_enabled:
+            if self.pipeline.maintainer is None:
+                raise ConfigError(
+                    "quarantine needs a codeword scheme: without a codeword "
+                    "table there are no protection regions to quarantine"
+                )
+            self.pipeline.maintainer.quarantine_on_detect = True
         self.locks = LockManager()
         self.system_log: SystemLog | None = None
         self.manager: TransactionManager | None = None
@@ -192,7 +227,7 @@ class Database:
         self._started = True
 
     @classmethod
-    def recover(cls, config: DBConfig):
+    def recover(cls, config: DBConfig, crashpoints: CrashPointRegistry | None = None):
         """Recover a database from its directory after a crash.
 
         Returns ``(database, recovery_report)``.  If a corruption note is
@@ -200,16 +235,27 @@ class Database:
         read checksums (Section 4.3 says to run corruption recovery on
         every restart in that case), delete-transaction recovery runs;
         otherwise normal Dali restart recovery does.
+
+        ``crashpoints`` (optional) arms deterministic crash points for the
+        run; if one fires mid-recovery the half-recovered shell is crashed
+        (its log handle closed) before the
+        :class:`~repro.errors.SimulatedCrash` propagates, so the caller
+        can simply ``recover`` again -- recovery is idempotent across
+        every registered crash point.
         """
         from repro.recovery.restart import RestartRecovery, load_corruption_note
 
-        db = cls(config)
+        db = cls(config, crashpoints=crashpoints)
         db._load_catalog()
         db._build_layout()
         db._open_log_and_manager()
         corruption = load_corruption_note(db)
         recovery = RestartRecovery(db, corruption)
-        report = recovery.run()
+        try:
+            report = recovery.run()
+        except SimulatedCrash:
+            db.crash()
+            raise
         db._started = True
         return db, report
 
@@ -266,7 +312,11 @@ class Database:
     def _open_log_and_manager(self) -> None:
         from repro.recovery.checkpoint import Checkpointer
 
-        self.system_log = SystemLog(os.path.join(self.config.dir, LOG_FILE), self.meter)
+        self.system_log = SystemLog(
+            os.path.join(self.config.dir, LOG_FILE),
+            self.meter,
+            crashpoints=self.crashpoints,
+        )
         self.manager = TransactionManager(
             self.memory,
             self.system_log,
@@ -276,6 +326,8 @@ class Database:
             group_commit_size=self.config.group_commit_size,
         )
         self.manager.undo_executor = self._dispatch_logical_undo
+        if self.quarantine_enabled:
+            self.manager.quarantine_guard = self._quarantine_guard
         self.auditor = Auditor(
             self.system_log,
             self.pipeline,
@@ -378,11 +430,63 @@ class Database:
         With ``audit_mode="incremental"`` and no explicit region list,
         the auditor folds only dirty regions, escalating to a full sweep
         on the configured cadence (see :meth:`Auditor.run_dirty`).
+
+        Under quarantine, already-quarantined regions are skipped and
+        reported (``report.quarantined_regions``) rather than re-failed,
+        and any *newly* corrupt regions the audit finds are quarantined --
+        the audit degrades the affected regions instead of forcing the
+        whole system down.  Checkpoint certification never skips.
         """
         self._require_usable()
+        skip = self.quarantine_enabled
         if region_ids is None and self.config.audit_mode == "incremental":
-            return self.auditor.run_dirty()
-        return self.auditor.run(region_ids)
+            report = self.auditor.run_dirty(skip_quarantined=skip)
+        else:
+            report = self.auditor.run(region_ids, skip_quarantined=skip)
+        if skip and not report.clean:
+            self.pipeline.maintainer.quarantine(report.corrupt_regions)
+        return report
+
+    def quarantined_regions(self) -> tuple[int, ...]:
+        """Sorted ids of regions currently held in quarantine."""
+        maintainer = self.pipeline.maintainer
+        if maintainer is None:
+            return ()
+        return tuple(sorted(maintainer.quarantined))
+
+    def repair_quarantined(self) -> int:
+        """Repair every quarantined region from checkpoint + log.
+
+        Runs the Section 4.1/4.2 cache-recovery machinery over the
+        quarantine set and returns the number of regions repaired
+        (repaired regions leave quarantine).
+        """
+        self._require_usable()
+        regions = list(self.quarantined_regions())
+        if not regions:
+            return 0
+        from repro.recovery.cache_recovery import repair_regions
+
+        return repair_regions(self, regions)
+
+    def _quarantine_guard(self, txn, address: int, length: int) -> None:
+        """Reject or repair reads overlapping quarantined regions.
+
+        Installed on the transaction manager when quarantine is enabled.
+        A read that touches a quarantined region either raises
+        :class:`QuarantinedRegionError` (default) or -- under
+        ``quarantine_repair`` -- transparently repairs the regions from
+        checkpoint + log and lets the read proceed against clean bytes.
+        """
+        regions = self.pipeline.maintainer.quarantined_overlapping(address, length)
+        if not regions:
+            return
+        if self.config.quarantine_repair:
+            from repro.recovery.cache_recovery import repair_regions
+
+            repair_regions(self, regions)
+            return
+        raise QuarantinedRegionError(regions, address=address, length=length)
 
     def report(self) -> dict:
         """Structured status snapshot (see :mod:`repro.storage.report`)."""

@@ -80,6 +80,10 @@ class TransactionManager:
         # undo descriptions by running the inverse operation through the
         # normal operation machinery.
         self.undo_executor: Callable[[Transaction, LogicalUndo], None] | None = None
+        # The storage layer installs a guard when corrupt-region
+        # quarantine is enabled; it vetoes (or repairs ahead of) reads
+        # that overlap quarantined regions.
+        self.quarantine_guard: Callable[[Transaction, int, int], None] | None = None
         self._next_txn_id = 1
         self._next_op_id = 1
         self._next_seq = 1
@@ -288,6 +292,8 @@ class TransactionManager:
     def read(self, txn: Transaction, address: int, length: int) -> bytes:
         """Prescribed read; protection schemes hook here (precheck, read log)."""
         txn.require_active()
+        if self.quarantine_guard is not None:
+            self.quarantine_guard(txn, address, length)
         self.scheme.on_read(txn, address, length)
         if not txn.op_stack and txn.redo_log.records:
             # A read outside any operation has no operation commit to ride

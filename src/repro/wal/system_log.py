@@ -24,6 +24,7 @@ import os
 from typing import Iterator
 
 from repro.errors import LogError
+from repro.faults.crashpoints import CrashPointRegistry
 from repro.sim.clock import Meter
 from repro.txn.latches import Latch
 from repro.wal.records import LogRecord, decode_record, encode_into, type_codes
@@ -40,9 +41,18 @@ _SKIP_ALL = frozenset()
 class SystemLog:
     """System log tail + stable log file."""
 
-    def __init__(self, path: str, meter: Meter) -> None:
+    def __init__(
+        self,
+        path: str,
+        meter: Meter,
+        crashpoints: CrashPointRegistry | None = None,
+    ) -> None:
         self.path = path
         self.meter = meter
+        # A private inert registry when none is shared in: ``reach`` on an
+        # un-armed registry is a dict lookup, so the flush path needs no
+        # conditional instrumentation.
+        self.crashpoints = crashpoints if crashpoints is not None else CrashPointRegistry()
         self.latch = Latch("system_log")
         self.tail: list[tuple[int, LogRecord]] = []
         self.next_lsn = 0
@@ -111,14 +121,31 @@ class SystemLog:
             self.meter.charge("latch_pair")
             if not self.tail:
                 return self.end_of_stable_lsn
+            self.crashpoints.reach("wal.flush.pre")
             self.meter.charge("flush_fixed")
             buf = bytearray()
             pack_lsn = _LSN_HEADER.pack
             for lsn, record in self.tail:
                 buf += pack_lsn(lsn)
                 encode_into(record, buf)
+            armed = self.crashpoints.reach("wal.flush.mid", defer=True)
+            if armed is not None:
+                # A torn flush: a prefix of the buffer reaches disk, then
+                # the process dies.  The surviving prefix ends mid-frame,
+                # so the next scan's CRC check reports a torn tail --
+                # exactly the state FaultInjector.torn_flush fabricates
+                # after the fact.
+                keep = armed.payload.get("keep_bytes")
+                if keep is None:
+                    keep = int(len(buf) * armed.payload.get("keep_fraction", 0.5))
+                keep = max(0, min(keep, len(buf) - 1))
+                self._file.write(buf[:keep])
+                self._file.flush()
+                self._stable_count = None  # bytes the counter can't vouch for
+                self.crashpoints.crash("wal.flush.mid")
             self._file.write(buf)
             self._file.flush()
+            self.crashpoints.reach("wal.flush.post")
             self.meter.charge("flush_byte", len(buf))
             if self._stable_count is not None:
                 self._stable_count += len(self.tail)

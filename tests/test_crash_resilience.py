@@ -4,7 +4,8 @@ import os
 
 import pytest
 
-from repro import Database, FaultInjector
+from repro import Database, CrashPointRegistry, FaultInjector
+from repro.errors import SimulatedCrash
 from tests.conftest import insert_accounts
 
 
@@ -40,6 +41,68 @@ class TestCrashDuringCheckpoint:
         db2.close()
 
 
+def _arm_and_checkpoint(db, point):
+    """Arm ``point``, attempt a checkpoint, and crash at the firing."""
+    db.crashpoints.arm(point)
+    with pytest.raises(SimulatedCrash) as exc:
+        db.checkpoint()
+    assert exc.value.point == point
+    db.crash()
+
+
+class TestCheckpointAtomicity:
+    """A crash anywhere before the anchor replace must be invisible:
+    ``load_latest`` keeps returning the previous consistent image."""
+
+    @pytest.mark.parametrize(
+        "point",
+        [
+            "checkpoint.pre_image",
+            "checkpoint.after_image",
+            "checkpoint.after_meta",
+            "checkpoint.pre_anchor",
+        ],
+    )
+    def test_crash_before_anchor_preserves_previous_checkpoint(self, db, point):
+        slots = insert_accounts(db, 3)
+        db.checkpoint()
+        anchor_before = db.checkpointer.read_anchor()
+        txn = db.begin()
+        db.table("acct").update(txn, slots[0], {"balance": 777})
+        db.commit(txn)
+
+        _arm_and_checkpoint(db, point)
+        # The anchor still names the pre-crash image...
+        assert db.checkpointer.read_anchor() == anchor_before
+        db2, _ = Database.recover(db.config)
+        # ...and recovery replays the commit from the log over it.
+        txn = db2.begin()
+        assert db2.table("acct").read(txn, slots[0])["balance"] == 777
+        db2.commit(txn)
+        result = db2.checkpoint()
+        assert result.certified
+        db2.close()
+
+    def test_crash_after_anchor_keeps_new_checkpoint(self, db):
+        slots = insert_accounts(db, 3)
+        db.checkpoint()
+        image_before = db.checkpointer.read_anchor()["image"]
+        txn = db.begin()
+        db.table("acct").update(txn, slots[0], {"balance": 888})
+        db.commit(txn)
+
+        _arm_and_checkpoint(db, "checkpoint.after_anchor")
+        # The replace happened: the anchor names the *new* image, which is
+        # complete and certified -- a crash here is benign.
+        anchor = db.checkpointer.read_anchor()
+        assert anchor["image"] != image_before
+        db2, _ = Database.recover(db.config)
+        txn = db2.begin()
+        assert db2.table("acct").read(txn, slots[0])["balance"] == 888
+        db2.commit(txn)
+        db2.close()
+
+
 class TestCrashDuringRecovery:
     def test_crash_before_final_checkpoint_reruns_cleanly(self, db_factory):
         """If recovery dies before its final checkpoint, a second recovery
@@ -56,25 +119,11 @@ class TestCrashDuringRecovery:
         report = db.audit()
         db.crash_with_corruption(report)
 
-        # First recovery attempt "crashes" at the final checkpoint.
-        from repro.recovery.restart import RestartRecovery, load_corruption_note
-
-        shell = Database(db.config)
-        shell._load_catalog()
-        shell._build_layout()
-        shell._open_log_and_manager()
-        corruption = load_corruption_note(shell)
-        recovery = RestartRecovery(shell, corruption)
-
-        original_finish = recovery._finish
-
-        def dying_finish():
-            raise RuntimeError("simulated crash during recovery")
-
-        recovery._finish = dying_finish
-        with pytest.raises(RuntimeError):
-            recovery.run()
-        shell.system_log.crash()
+        # First recovery attempt crashes right before amendments + the
+        # final recovery checkpoint.
+        registry = CrashPointRegistry().arm("recovery.pre_complete")
+        with pytest.raises(SimulatedCrash):
+            Database.recover(db.config, crashpoints=registry)
 
         # The corruption note is still there; a fresh recovery succeeds
         # and produces the same delete decisions.

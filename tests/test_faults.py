@@ -2,10 +2,11 @@
 
 import pytest
 
-from repro import FaultInjector
+from repro import Database, DBConfig, FaultInjector, tear_log_tail
 from repro.errors import ConfigError
+from repro.wal.system_log import SystemLog
 
-from tests.conftest import insert_accounts
+from tests.conftest import ACCT_SCHEMA, insert_accounts
 
 
 class TestWildWrite:
@@ -83,3 +84,112 @@ class TestCorruptRecord:
         slots = insert_accounts(db, 1)
         event = FaultInjector(db, seed=1).corrupt_record("acct", slots[0])
         assert event.length == db.table("acct").schema.record_size
+
+
+class _PinnedRng:
+    """Drives every random choice to its extreme: always pick ``segment``,
+    always return the largest value ``randrange`` allows."""
+
+    def __init__(self, segment):
+        self._segment = segment
+
+    def choice(self, seq):
+        return self._segment
+
+    def randrange(self, n):
+        return n - 1
+
+
+class TestRandomAddressBounds:
+    def test_last_in_bounds_offset_is_reachable(self, db):
+        insert_accounts(db, 1)
+        injector = FaultInjector(db, seed=1)
+        segment = next(s for s in db.memory.segments if s.kind == "data")
+        injector.rng = _PinnedRng(segment)
+        event = injector.wild_write(length=8, data=b"\xa5" * 8)
+        # The fault ends flush against the segment's last byte: the
+        # off-by-one in the old clamp made this offset unreachable.
+        assert event.address + event.length == segment.base + segment.size
+
+    def test_fault_longer_than_segment_stays_in_memory(self, db):
+        insert_accounts(db, 1)
+        injector = FaultInjector(db, seed=1)
+        for segment in (s for s in db.memory.segments if s.kind == "data"):
+            injector.rng = _PinnedRng(segment)
+            length = segment.size + 8
+            event = injector.wild_write(length=length, data=b"\x5a" * length)
+            assert event.address <= segment.base
+            assert event.address + event.length <= db.memory.size
+
+
+class TestTearLogTailFrames:
+    def test_cut_and_frames_are_exclusive(self, db):
+        insert_accounts(db, 1)
+        with pytest.raises(ConfigError):
+            tear_log_tail(db.system_log.path, cut=1, frames=1)
+
+    def test_frames_must_be_positive(self, db):
+        insert_accounts(db, 1)
+        with pytest.raises(ConfigError):
+            tear_log_tail(db.system_log.path, frames=0)
+
+    def test_frames_beyond_log_length_rejected(self, db):
+        insert_accounts(db, 1)
+        with pytest.raises(ConfigError):
+            tear_log_tail(db.system_log.path, frames=10**6)
+
+    def test_frame_tear_leaves_clean_shorter_log(self, db):
+        insert_accounts(db, 3)
+        db.crash()
+        before = SystemLog(db.system_log.path, db.meter)
+        count = len(list(before.scan(strict=True)))
+        before.close()
+        removed = tear_log_tail(db.system_log.path, frames=2)
+        assert len(removed) > 0
+        after = SystemLog(db.system_log.path, db.meter)
+        # The tear lands exactly on a frame boundary: a strict scan sees
+        # a clean log, just two records shorter -- nothing to detect.
+        survivors = list(after.scan(strict=True))
+        assert len(survivors) == count - 2
+        assert not after.torn_tail_detected
+        after.close()
+
+
+class TestGroupCommitLoss:
+    def test_frame_tear_swallows_buffered_commit_undetectably(self, tmp_path):
+        """Group commit batches several commits into one flush; a crash
+        that loses whole trailing frames swallows reported commits with
+        *no* torn tail for recovery to notice -- the documented <= N-1
+        durability trade, now reproducible byte-exactly."""
+        config = DBConfig(
+            dir=str(tmp_path / "gc"), scheme="baseline", group_commit_size=3
+        )
+        db = Database(config)
+        db.create_table("acct", ACCT_SCHEMA, 64, key_field="id")
+        db.start()
+        slots = insert_accounts(db, 3)
+        db.checkpoint()
+        db.manager.flush_commits()  # drain the setup commits' window
+        table = db.table("acct")
+        for i, value in enumerate((111, 112, 113)):
+            txn = db.begin()
+            table.update(txn, slots[i], {"balance": value})
+            db.commit(txn)  # third commit fills the window: one flush of 3
+        assert db.system_log.tail == []
+        db.crash()
+
+        # Tear the final frame -- the last commit record -- off the
+        # stable log.  The shorter log is *clean*: strict scan passes.
+        FaultInjector(db, seed=3).torn_flush(frames=1)
+        check = SystemLog(db.system_log.path, db.meter)
+        list(check.scan(strict=True))
+        assert not check.torn_tail_detected
+        check.close()
+
+        recovered, _report = Database.recover(config)
+        rtable = recovered.table("acct")
+        txn = recovered.begin()
+        balances = [rtable.read(txn, slots[i])["balance"] for i in range(3)]
+        recovered.commit(txn)
+        assert balances == [111, 112, 100]
+        recovered.close()

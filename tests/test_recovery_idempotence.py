@@ -1,0 +1,129 @@
+"""Recovery idempotence: crash recovery anywhere, re-run, same answer.
+
+Restart recovery must be a pure function of its stable inputs (anchor,
+checkpoint image, stable log, corruption note).  A crash at *any* of its
+crash points leaves those inputs semantically unchanged, so re-running
+recovery must converge to the byte-identical memory image and an
+equivalent :class:`RecoveryReport`.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import shutil
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import Database, CrashPointRegistry, DBConfig, FaultInjector
+from repro.errors import SimulatedCrash
+from repro.faults.crashpoints import RECOVERY_CRASH_POINTS
+
+from tests.conftest import ACCT_SCHEMA, insert_accounts
+
+
+def _build_corrupted_template(template_dir: str) -> DBConfig:
+    """A crashed database dir whose recovery has real work at every phase:
+    redo from the log, corrupt-read conviction, undo of spread txns."""
+    config = DBConfig(
+        dir=template_dir,
+        scheme="cw_read_logging",
+        scheme_params={"region_size": 256},
+        record_history=True,
+    )
+    db = Database(config)
+    db.create_table("acct", ACCT_SCHEMA, 64, key_field="id")
+    db.start()
+    slots = insert_accounts(db, 6)
+    db.checkpoint()
+    table = db.table("acct")
+    FaultInjector(db, seed=11).wild_write(table.record_address(slots[1]) + 8, 8)
+    # Propagate the corrupt value through a read: recovery must convict
+    # and delete this committed transaction, not just roll back.
+    txn = db.begin()
+    value = table.read(txn, slots[1])["balance"]
+    table.update(txn, slots[2], {"balance": value})
+    db.commit(txn)
+    report = db.audit()
+    assert not report.clean
+    db.crash_with_corruption(report)
+    return config
+
+
+@pytest.fixture(scope="module")
+def template(tmp_path_factory):
+    template_dir = str(tmp_path_factory.mktemp("idem") / "template")
+    config = _build_corrupted_template(template_dir)
+    return template_dir, config
+
+
+def _fresh_copy(template, tmp_path_factory) -> DBConfig:
+    """Config pointing at a pristine copy of the crashed template dir."""
+    template_dir, config = template
+    workdir = str(tmp_path_factory.mktemp("idem-run") / "db")
+    shutil.copytree(template_dir, workdir)
+    return dataclasses.replace(config, dir=workdir)
+
+
+def _report_key(report):
+    """Report fields that must be invariant across recovery re-runs.
+
+    ``redo_applied`` legitimately differs: the interrupted first attempt
+    may have advanced stable state (truncated tail, flushed amendments),
+    shrinking the second run's redo span.
+    """
+    return (
+        report.mode,
+        report.audit_sn,
+        report.writes_suppressed,
+        report.deleted_committed,
+        report.rolled_back,
+        report.recruited,
+        report.corrupt_range_count,
+    )
+
+
+class TestRecoveryIdempotence:
+    @given(point=st.sampled_from(RECOVERY_CRASH_POINTS))
+    @settings(max_examples=2 * len(RECOVERY_CRASH_POINTS), deadline=None)
+    def test_crash_at_any_point_then_rerun_converges(
+        self, point, template, tmp_path_factory
+    ):
+        # Reference run: uninterrupted recovery of a pristine copy.
+        ref_db, ref_report = Database.recover(_fresh_copy(template, tmp_path_factory))
+        assert ref_report.mode == "delete-transaction-view"
+        ref_image = ref_db.memory.snapshot_segments()
+        ref_db.close()
+
+        # Crash the first recovery attempt at ``point``, then re-run
+        # against the same (now once-interrupted) directory.  The armed
+        # point is one-shot, so reusing the registry cannot re-fire.
+        config = _fresh_copy(template, tmp_path_factory)
+        registry = CrashPointRegistry().arm(point)
+        with pytest.raises(SimulatedCrash) as exc:
+            Database.recover(config, crashpoints=registry)
+        assert exc.value.point == point
+        db, report = Database.recover(config, crashpoints=registry)
+
+        assert _report_key(report) == _report_key(ref_report)
+        assert db.memory.snapshot_segments() == ref_image
+        assert db.audit().clean
+        db.close()
+
+    def test_double_crash_still_converges(self, template, tmp_path_factory):
+        """Two interrupted attempts in a row (different points) do not
+        compound: the third run still reaches the reference state."""
+        ref_db, ref_report = Database.recover(_fresh_copy(template, tmp_path_factory))
+        ref_image = ref_db.memory.snapshot_segments()
+        ref_db.close()
+
+        config = _fresh_copy(template, tmp_path_factory)
+        for point in ("recovery.after_redo", "recovery.pre_complete"):
+            registry = CrashPointRegistry().arm(point)
+            with pytest.raises(SimulatedCrash):
+                Database.recover(config, crashpoints=registry)
+        db, report = Database.recover(config)
+        assert _report_key(report) == _report_key(ref_report)
+        assert db.memory.snapshot_segments() == ref_image
+        db.close()

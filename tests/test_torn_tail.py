@@ -4,7 +4,7 @@ import os
 
 import pytest
 
-from repro import Database
+from repro import Database, tear_log_tail
 from repro.errors import LogError
 from repro.sim.clock import Meter, VirtualClock
 from repro.sim.costs import DEFAULT_COSTS
@@ -18,20 +18,13 @@ def make_log(tmp_path):
     return SystemLog(str(tmp_path / "sys.log"), Meter(VirtualClock(), DEFAULT_COSTS))
 
 
-def tear(path, cut: int):
-    """Chop ``cut`` bytes off the end of the file."""
-    size = os.path.getsize(path)
-    with open(path, "r+b") as handle:
-        handle.truncate(size - cut)
-
-
 class TestScanTolerance:
     def test_torn_record_stops_scan_cleanly(self, tmp_path):
         log = make_log(tmp_path)
         for i in range(5):
             log.append(TxnCommitRecord(i))
         log.flush()
-        tear(log.path, 3)
+        tear_log_tail(log.path, cut=3)
         records = list(log.scan())
         assert [lsn for lsn, _ in records] == [0, 1, 2, 3]
         assert log.torn_tail_detected
@@ -41,7 +34,7 @@ class TestScanTolerance:
         log = make_log(tmp_path)
         log.append(TxnCommitRecord(1))
         log.flush()
-        tear(log.path, 2)
+        tear_log_tail(log.path, cut=2)
         with pytest.raises(LogError):
             list(log.scan(strict=True))
         log.close()
@@ -73,9 +66,7 @@ class TestScanTolerance:
         for i in range(3):
             log.append(TxnCommitRecord(i))
         log.flush()
-        clean_size_after_two = None
-        # Find the clean two-record prefix size by scanning after tearing.
-        tear(log.path, 5)
+        tear_log_tail(log.path, cut=5)
         list(log.scan())
         assert log.truncate_torn_tail()
         records = list(log.scan())
@@ -104,7 +95,7 @@ class TestRecoveryWithTornTail:
         db.table("acct").update(txn, slots[0], {"balance": 42})
         db.commit(txn)
         db.crash()
-        tear(db.system_log.path, 7)  # the crash tore the last flush
+        tear_log_tail(db.system_log.path, cut=7)  # the crash tore the last flush
         db2, report = Database.recover(db.config)
         # The torn record was part of the last commit's flush; recovery
         # comes up consistent (possibly without that commit) and usable.
