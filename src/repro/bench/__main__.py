@@ -7,6 +7,8 @@ Usage::
     python -m repro.bench --table 1
     python -m repro.bench --sweep         # region-size ablation series
     python -m repro.bench --json BENCH_tables.json   # machine-readable copy
+    python -m repro.bench --profile       # cProfile the TPC-B update loop
+    python -m repro.bench --faults --faults-backing mmap
 """
 
 from __future__ import annotations
@@ -105,11 +107,41 @@ def print_region_sweep(scale: float) -> None:
         shutil.rmtree(workdir)
 
 
+def print_profile(scale: float, scheme: str, top: int) -> None:
+    """cProfile one TPC-B run; print the top-N cumulative-time entries.
+
+    Answers "where do the update cycles actually go" for the write-path
+    work: run under ``--profile`` before and after flipping
+    ``update_batch`` / ``image_backing`` to see which frames moved.
+    """
+    import cProfile
+    import pstats
+
+    workload = TPCBConfig().scaled(scale)
+    workdir = tempfile.mkdtemp(prefix="repro-profile-")
+    spec = SchemeSpec("profiled", scheme)
+    profiler = cProfile.Profile()
+    try:
+        profiler.enable()
+        result = run_scheme(spec, workload, os.path.join(workdir, "db"))
+        profiler.disable()
+    finally:
+        shutil.rmtree(workdir, ignore_errors=True)
+    print(
+        f"cProfile of one TPC-B run: scheme={scheme}, scale={scale} "
+        f"({workload.operations:,} operations, "
+        f"{result.ops_per_sec:,.0f} virtual ops/sec)\n"
+    )
+    stats = pstats.Stats(profiler)
+    stats.sort_stats("cumulative").print_stats(top)
+
+
 def print_fault_campaign(
     seeds: tuple[int, ...],
     schemes: tuple[str, ...],
     schedules: int,
     ops: int,
+    image_backing: str = "heap",
 ):
     """Run a seeded fault campaign and print its scoreboard."""
     from repro.faults.campaign import CampaignSpec, run_campaign
@@ -119,6 +151,7 @@ def print_fault_campaign(
         schemes=schemes,
         schedules_per_config=schedules,
         ops_per_schedule=ops,
+        image_backing=image_backing,
     )
     workdir = tempfile.mkdtemp(prefix="repro-faults-")
     try:
@@ -163,7 +196,8 @@ def print_fault_campaign(
             title=(
                 f"Fault campaign: {result.spec.total_schedules} schedules "
                 f"({len(spec.seeds)} seeds x {len(spec.schemes)} schemes x "
-                f"{spec.schedules_per_config})"
+                f"{spec.schedules_per_config}, "
+                f"image_backing={spec.image_backing})"
             ),
         )
     )
@@ -244,7 +278,34 @@ def main(argv: list[str] | None = None) -> int:
         default=24,
         help="workload operations per schedule (default: 24)",
     )
+    parser.add_argument(
+        "--faults-backing",
+        choices=["heap", "mmap"],
+        default="heap",
+        help="memory-image backing for campaign databases (default: heap)",
+    )
+    parser.add_argument(
+        "--profile",
+        action="store_true",
+        help="cProfile one TPC-B run and print the hottest frames by "
+        "cumulative time (see --profile-scheme / --profile-top)",
+    )
+    parser.add_argument(
+        "--profile-scheme",
+        default="data_cw",
+        help="scheme for the --profile run (default: data_cw)",
+    )
+    parser.add_argument(
+        "--profile-top",
+        type=int,
+        default=25,
+        help="entries of the --profile report to print (default: 25)",
+    )
     args = parser.parse_args(argv)
+
+    if args.profile:
+        print_profile(args.scale, args.profile_scheme, args.profile_top)
+        return 0
 
     table1 = None
     table2 = None
@@ -269,7 +330,11 @@ def main(argv: list[str] | None = None) -> int:
         )
         seeds = tuple(int(s) for s in args.faults_seeds.split(",") if s)
         campaign = print_fault_campaign(
-            seeds, schemes, args.faults_schedules, args.faults_ops
+            seeds,
+            schemes,
+            args.faults_schedules,
+            args.faults_ops,
+            image_backing=args.faults_backing,
         )
     if args.json:
         payload = bench_json_payload(table1=table1, table2=table2, scale=args.scale)

@@ -17,6 +17,10 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+import numpy as np
+
+from repro.core.background import BackgroundSweep
+from repro.core.codeword import word_count
 from repro.core.schemes import ProtectionScheme
 from repro.wal.records import AuditBeginRecord, AuditEndRecord
 from repro.wal.system_log import SystemLog
@@ -76,6 +80,7 @@ class Auditor:
         *,
         audit_mode: str = "full",
         full_sweep_every: int = 8,
+        background: bool = False,
     ) -> None:
         self.system_log = system_log
         self.scheme = scheme
@@ -94,6 +99,14 @@ class Auditor:
         self.audit_mode = audit_mode
         self.full_sweep_every = max(1, full_sweep_every)
         self._dirty_audits_since_sweep = 0
+        #: Run full-sweep escalations in a worker thread (see
+        #: :meth:`start_background_sweep`); only meaningful with
+        #: ``audit_mode="incremental"``.
+        self.background = background
+        self._sweep: BackgroundSweep | None = None
+
+    def _maintainer(self):
+        return getattr(self.scheme, "maintainer", None)
 
     def run(
         self,
@@ -194,16 +207,32 @@ class Auditor:
         ``Audit_SN`` only advances on those full sweeps: a clean
         dirty-pass proves nothing about regions it never folded.
         """
-        maintainer = getattr(self.scheme, "maintainer", None)
+        maintainer = self._maintainer()
         if maintainer is None or self.scheme.codeword_table is None:
             return self.run(flush=flush)
         self._dirty_audits_since_sweep += 1
         if self._dirty_audits_since_sweep >= self.full_sweep_every:
             self._dirty_audits_since_sweep = 0
-            report = self.run(flush=flush, skip_quarantined=skip_quarantined)
-            if report.clean:
-                maintainer.clear_dirty()
-            return report
+            if self.background:
+                if self._sweep is not None:
+                    # The sweep launched at the previous cadence point has
+                    # had a whole period to fold; join it (near-instant)
+                    # and report its full-image verdict.
+                    report = self.join_background_sweep(
+                        flush=flush, skip_quarantined=skip_quarantined
+                    )
+                    if report.clean:
+                        maintainer.clear_dirty()
+                    return report
+                # First escalation: launch the fold off-thread and serve
+                # this call with an ordinary dirty pass -- the mutator
+                # never waits for the full sweep.
+                self.start_background_sweep()
+            else:
+                report = self.run(flush=flush, skip_quarantined=skip_quarantined)
+                if report.clean:
+                    maintainer.clear_dirty()
+                return report
         dirty = maintainer.dirty_region_list()
         report = self.run(
             region_ids=dirty,
@@ -215,6 +244,128 @@ class Auditor:
             maintainer.clear_dirty(dirty)
         return report
 
+    # ------------------------------------------------- background sweeps
+
+    def start_background_sweep(self) -> bool:
+        """Launch a full-sweep fold in a worker thread; True if started.
+
+        The fold (``CodewordTable.fold_all``) is one big GIL-releasing
+        numpy reduction, so it overlaps the pure-Python mutator.  The
+        snapshot/epoch handshake with the maintainer: pending deferred
+        deltas are flushed *first*, then :meth:`begin_sweep_tracking`
+        records every region whose bytes or stored codeword change while
+        the fold races memory -- those are re-checked synchronously at
+        :meth:`join_background_sweep`, so a torn fold can never produce a
+        false verdict either way.
+        """
+        maintainer = self._maintainer()
+        table = self.scheme.codeword_table
+        if maintainer is None or table is None or self._sweep is not None:
+            return False
+        if maintainer.deferred:
+            # Stored codewords must be current before the fold starts so
+            # every later change is a tracked touch.
+            maintainer.flush_pending()
+        audit_id = self._next_audit_id
+        self._next_audit_id += 1
+        begin_lsn = self.system_log.append(AuditBeginRecord(audit_id))
+        maintainer.begin_sweep_tracking()
+        sweep = BackgroundSweep(audit_id, begin_lsn, table)
+        sweep.start()
+        self._sweep = sweep
+        return True
+
+    def join_background_sweep(
+        self, flush: bool = True, skip_quarantined: bool = False
+    ) -> AuditReport | None:
+        """Finish the in-flight sweep and deliver its full-image verdict.
+
+        Charges the meter exactly what the synchronous full-sweep fast
+        path charges (``latch_pair``/``cw_check_fixed`` per region,
+        ``cw_check_word`` for every word of the image) -- the off-thread
+        fold is a wall-clock optimisation, not a cost-model change.
+        Regions the mutator touched while the fold ran are re-audited
+        synchronously (their background folds raced live bytes); a clean
+        verdict advances ``Audit_SN`` to the sweep's *begin* LSN, the
+        same conservative rule as :meth:`run_incremental`.
+        """
+        sweep = self._sweep
+        if sweep is None:
+            return None
+        self._sweep = None
+        maintainer = self._maintainer()
+        table = self.scheme.codeword_table
+        assert maintainer is not None and table is not None
+        computed = sweep.join()
+        touched = maintainer.end_sweep_tracking()
+        meter = maintainer.meter
+        n = table.region_count
+        region_size = table.region_size
+        if meter is not None and n:
+            words_per_region = word_count(region_size)
+            words = n * words_per_region
+            # The final region of the image may be ragged.
+            words += word_count(table.region_bounds(n - 1)[1]) - words_per_region
+            meter.charge("latch_pair", n)
+            meter.charge("cw_check_fixed", n)
+            meter.charge("cw_check_word", words)
+        mismatched = {int(i) for i in np.nonzero(computed != table._codewords)[0]}
+        quarantined: tuple[int, ...] = ()
+        qset: set[int] = set()
+        if skip_quarantined and maintainer.quarantined:
+            qset = set(maintainer.quarantined)
+            quarantined = tuple(sorted(qset))
+        # Regions the mutator touched mid-fold carry untrustworthy
+        # background folds (either verdict could be stale); re-check them
+        # against the current bytes on this thread.
+        recheck = sorted(set(touched) - qset)
+        recheck_corrupt = self.scheme.audit_regions(recheck) if recheck else []
+        corrupt = tuple(sorted((mismatched - set(touched) - qset) | set(recheck_corrupt)))
+        self.system_log.append(
+            AuditEndRecord(
+                sweep.audit_id,
+                clean=not corrupt,
+                corrupt_regions=corrupt,
+                region_size=region_size,
+            )
+        )
+        if flush:
+            self.system_log.flush()
+        self.audits_run += 1
+        if corrupt:
+            self.failures += 1
+        elif not quarantined:
+            self.last_clean_audit_lsn = max(
+                self.last_clean_audit_lsn, sweep.begin_lsn
+            )
+        return AuditReport(
+            audit_id=sweep.audit_id,
+            begin_lsn=sweep.begin_lsn,
+            clean=not corrupt,
+            corrupt_regions=corrupt,
+            region_size=region_size,
+            regions_checked=n,
+            corrupt_ranges=tuple(table.region_bounds(r) for r in corrupt),
+            image_size=table.memory.size,
+            quarantined_regions=quarantined,
+        )
+
+    def abandon_background_sweep(self) -> None:
+        """Discard an in-flight sweep without a verdict (crash/close).
+
+        Leaves an unmatched AUDIT_BEGIN in the log -- restart treats an
+        audit with no AUDIT_END as never having completed, which is the
+        truth.  ``Audit_SN`` and the dirty set are untouched.
+        """
+        sweep = self._sweep
+        if sweep is None:
+            return
+        self._sweep = None
+        maintainer = self._maintainer()
+        if maintainer is not None and maintainer.sweep_tracking:
+            maintainer.end_sweep_tracking()
+        sweep.abandon()
+
     def run_for_checkpoint(self, force_full: bool = False) -> AuditReport:
         """The certification audit a checkpoint runs.
 
@@ -225,7 +376,20 @@ class Auditor:
         ``force_full`` restores the unconditional full audit (used by the
         checkpoint that ends corruption recovery, which must certify the
         whole image).
+
+        An in-flight background sweep is joined instead: the join checks
+        every region of the image (never skipping quarantine --
+        certification must see everything), so it satisfies even
+        ``force_full``.
         """
+        if self._sweep is not None:
+            report = self.join_background_sweep()
+            assert report is not None
+            self._dirty_audits_since_sweep = 0
+            maintainer = self._maintainer()
+            if report.clean and maintainer is not None:
+                maintainer.clear_dirty()
+            return report
         if self.audit_mode == "incremental" and not force_full:
             return self.run_dirty()
         return self.run()

@@ -1,0 +1,71 @@
+"""Background full-sweep audit worker.
+
+The full-sweep certification fold is one big ``np.bitwise_xor.reduce``
+over the image (:meth:`~repro.core.regions.CodewordTable.fold_all`), and
+numpy releases the GIL for the reduction -- so the fold can run in a
+worker thread while the (pure-Python) mutator keeps executing.  The
+Sandboxing-STM observation motivating this: validate concurrently with
+the mutator, not inline on its critical path.
+
+Only the *fold* runs off-thread.  Everything stateful -- log records,
+meter charges, the verdict against the stored codewords, the re-check of
+regions the mutator touched while the fold raced it -- happens on the
+driver thread at join (see :meth:`~repro.core.audit.Auditor.join_background_sweep`),
+so no lock discipline beyond the snapshot/epoch handshake with the
+maintainer's dirty-set is needed.
+"""
+
+from __future__ import annotations
+
+import threading
+
+import numpy as np
+
+from repro.core.regions import CodewordTable
+
+
+class BackgroundSweep:
+    """One in-flight full-sweep fold running in a worker thread."""
+
+    def __init__(self, audit_id: int, begin_lsn: int, table: CodewordTable) -> None:
+        self.audit_id = audit_id
+        #: LSN of the sweep's AuditBegin record.  A clean sweep advances
+        #: ``Audit_SN`` to this LSN, not the join LSN -- corruption
+        #: anywhere could have occurred any time after the fold started.
+        self.begin_lsn = begin_lsn
+        self.table = table
+        self._computed: np.ndarray | None = None
+        self._error: BaseException | None = None
+        self._thread = threading.Thread(
+            target=self._run, name=f"audit-sweep-{audit_id}", daemon=True
+        )
+
+    def start(self) -> None:
+        self._thread.start()
+
+    def _run(self) -> None:
+        try:
+            self._computed = self.table.fold_all()
+        except BaseException as exc:  # pragma: no cover - defensive
+            self._error = exc
+
+    @property
+    def done(self) -> bool:
+        """Whether the fold has finished (join will not block)."""
+        return not self._thread.is_alive()
+
+    def join(self) -> np.ndarray:
+        """Wait for the fold; returns the computed per-region codewords."""
+        self._thread.join()
+        if self._error is not None:  # pragma: no cover - defensive
+            raise self._error
+        assert self._computed is not None
+        return self._computed
+
+    def abandon(self) -> None:
+        """Wait the worker out and discard its result (crash/close)."""
+        self._thread.join()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "done" if self.done else "running"
+        return f"BackgroundSweep(audit_id={self.audit_id}, {state})"

@@ -27,7 +27,7 @@ from repro.core.codeword import fold_words, word_count
 from repro.core.regions import CodewordTable
 from repro.mem.memory import MemoryImage
 from repro.sim.clock import Meter
-from repro.txn.latches import LatchTable, EXCLUSIVE, SHARED
+from repro.txn.latches import Latch, LatchTable, EXCLUSIVE, SHARED
 from repro.txn.transaction import Transaction
 from repro.wal.local_log import PhysicalUndo
 
@@ -121,6 +121,12 @@ class CodewordMaintainer:
         #: as it raises (set by the storage layer under
         #: ``DBConfig(quarantine=True)``).
         self.quarantine_on_detect = False
+        #: While a background full sweep is folding memory in a worker
+        #: thread, every region dirtied through the prescribed interface
+        #: is also recorded here; the sweep's verdict re-checks exactly
+        #: those regions synchronously at join (their folds may have
+        #: raced the mutator).  ``None`` when no sweep is in flight.
+        self._sweep_touched: set[int] | None = None
 
     def attach(self, memory: MemoryImage, meter: Meter) -> None:
         """Bind to an image/meter; idempotent so shared adopters can all call it."""
@@ -156,6 +162,30 @@ class CodewordMaintainer:
             latches.append(latch)
         txn.scheme_state.setdefault("window_latches", []).extend(latches)
 
+    def open_window_batch(
+        self, txn: Transaction, regions: list[tuple[int, int]]
+    ) -> None:
+        """Latch every region a multi-range window touches, in one pass.
+
+        Each latch is physically acquired once (they are reentrant, so
+        this is purely a wall-clock saving) but ``latch_pair`` is charged
+        once per range-and-region occurrence -- exactly what opening the
+        ranges as N scalar windows would charge.
+        """
+        assert self.table is not None and self.meter is not None
+        latches = txn.scheme_state.setdefault("window_latches", [])
+        seen: set[int] = set()
+        pairs = 0
+        for address, length in regions:
+            for region_id in self.table.regions_spanning(address, length):
+                pairs += 1
+                if region_id not in seen:
+                    seen.add(region_id)
+                    latch = self.protection_latches.latch(region_id)
+                    latch.acquire(self.update_latch_mode)
+                    latches.append(latch)
+        self.meter.charge("latch_pair", pairs)
+
     def release_window(self, txn: Transaction) -> None:
         for latch in txn.scheme_state.pop("window_latches", []):
             latch.release()
@@ -172,14 +202,58 @@ class CodewordMaintainer:
                     self.meter.charge("latch_pair")
         self.apply_maintenance(address, old_image, new_image)
 
+    def maintain_batch(
+        self, txn: Transaction, items: list[tuple[int, bytes, bytes]]
+    ) -> None:
+        """Fold a whole batch of updates into the codewords at once.
+
+        Byte- and meter-identical to calling :meth:`maintain` per item --
+        XOR folding is associative/commutative and ``Meter.charge`` is
+        linear -- but the deltas go through one vectorized kernel call
+        and the charges are bulk (property-tested against the scalar
+        path).
+        """
+        assert self.table is not None and self.meter is not None
+        if self.uses_codeword_latch:
+            # Acquire each distinct codeword latch once and hold it across
+            # the whole batch fold (strictly stronger than the scalar
+            # path's per-item acquire/release), but charge ``latch_pair``
+            # per range-and-region occurrence -- exactly what N scalar
+            # maintain calls would charge.
+            spans = [
+                self.table.regions_spanning(address, len(old_image))
+                for address, old_image, _new in items
+            ]
+            pairs = 0
+            held: dict[int, Latch] = {}
+            for span in spans:
+                for region_id in span:
+                    pairs += 1
+                    if region_id not in held:
+                        latch = self.codeword_latches.latch(region_id)
+                        latch.acquire(EXCLUSIVE)
+                        held[region_id] = latch
+            try:
+                self.meter.charge("latch_pair", pairs)
+                self.apply_maintenance_batch(items, spans)
+            finally:
+                for latch in held.values():
+                    latch.release()
+            return
+        self.apply_maintenance_batch(items)
+
+    def _note_dirty(self, regions) -> None:
+        """Record prescribed-path dirtiness (and sweep interference)."""
+        self.dirty_regions.update(regions)
+        if self._sweep_touched is not None:
+            self._sweep_touched.update(regions)
+
     def apply_maintenance(
         self, address: int, old_image: bytes, new_image: bytes
     ) -> None:
         """Immediate table update, or delta accumulation when deferred."""
         assert self.table is not None and self.meter is not None
-        self.dirty_regions.update(
-            self.table.regions_spanning(address, len(old_image))
-        )
+        self._note_dirty(self.table.regions_spanning(address, len(old_image)))
         if self.deferred:
             for region_id, delta, words in self.table.compute_deltas(
                 address, old_image, new_image
@@ -190,6 +264,38 @@ class CodewordMaintainer:
         else:
             words = self.table.apply_update(address, old_image, new_image)
             self.meter.charge("cw_maint_fixed")
+            self.meter.charge("cw_maint_word", words)
+
+    def apply_maintenance_batch(
+        self,
+        items: list[tuple[int, bytes, bytes]],
+        spans: list[range] | None = None,
+    ) -> None:
+        """Batch table update (or per-item accumulation when deferred).
+
+        ``spans`` lets the caller pass the per-item region spans it
+        already computed (``maintain_batch`` needs them for latching), so
+        the geometry is not re-derived here.
+        """
+        assert self.table is not None and self.meter is not None
+        if spans is None:
+            spans = [
+                self.table.regions_spanning(address, len(old_image))
+                for address, old_image, _new in items
+            ]
+        for span in spans:
+            self._note_dirty(span)
+        if self.deferred:
+            for address, old_image, new_image in items:
+                for region_id, delta, words in self.table.compute_deltas(
+                    address, old_image, new_image
+                ):
+                    self._pending[region_id] = self._pending.get(region_id, 0) ^ delta
+                    self.meter.charge("cw_maint_word", words)
+                    self.meter.charge("deferred_update")
+        else:
+            words = self.table.apply_update_batch(items)
+            self.meter.charge("cw_maint_fixed", len(items))
             self.meter.charge("cw_maint_word", words)
 
     # ------------------------------------------------------------- undo
@@ -206,7 +312,7 @@ class CodewordMaintainer:
         regions = self.table.regions_spanning(entry.address, len(entry.image))
         # The restore writes below the hooks; mark the regions for the
         # next dirty-region audit whether or not the codeword moves.
-        self.dirty_regions.update(regions)
+        self._note_dirty(regions)
         latches = [self.protection_latches.latch(r) for r in regions]
         for latch in latches:
             latch.acquire(EXCLUSIVE)
@@ -254,6 +360,36 @@ class CodewordMaintainer:
             self.dirty_regions.clear()
         else:
             self.dirty_regions.difference_update(region_ids)
+
+    # -------------------------------------------------- sweep handshake
+
+    def begin_sweep_tracking(self) -> None:
+        """Start recording regions the mutator touches (background sweep).
+
+        Called with the pending-delta set already flushed, so every
+        stored-codeword change after this point is also a tracked touch.
+        """
+        self._sweep_touched = set()
+
+    def end_sweep_tracking(self) -> set[int]:
+        """Stop recording; returns the regions touched while the sweep ran."""
+        touched = self._sweep_touched or set()
+        self._sweep_touched = None
+        return touched
+
+    @property
+    def sweep_tracking(self) -> bool:
+        return self._sweep_touched is not None
+
+    def note_repair(self, region_ids) -> None:
+        """Record regions rewritten below the hooks (cache recovery).
+
+        A repair restores bytes and recomputes the codeword outside the
+        prescribed interface; an in-flight background sweep raced those
+        writes, so the regions must be re-checked at join like any other
+        mid-sweep touch.
+        """
+        self._note_dirty(region_ids)
 
     # ------------------------------------------------------- quarantine
 

@@ -216,6 +216,53 @@ class ProtectionPipeline(ProtectionScheme):
             if not member.uses_codewords:
                 member.close_update_window(txn, address, length)
 
+    # ------------------------------------------------------ batch hooks
+    #
+    # A multi-region window drives the shared maintainer once for the
+    # whole batch -- one bulk latch pass, one vectorized delta-fold --
+    # while non-codeword members (page guards, read logging bookkeeping)
+    # see the same per-range scalar hooks they would under N windows.
+
+    def on_begin_update_batch(
+        self, txn: Transaction, regions: list[tuple[int, int]]
+    ) -> None:
+        if self.maintainer is not None:
+            self.maintainer.open_window_batch(txn, regions)
+        for member in self.members:
+            if not member.uses_codewords:
+                for address, length in regions:
+                    member.on_begin_update(txn, address, length)
+
+    def on_end_update_batch(
+        self, txn: Transaction, items: list[tuple[int, bytes, bytes]]
+    ) -> list[int | None]:
+        checksums: list[int | None] = [None] * len(items)
+        if self.maintainer is not None:
+            self.maintainer.maintain_batch(txn, items)
+            self.maintainer.release_window(txn)
+            if self.logs_read_checksums:
+                checksums = [
+                    self.maintainer.checksum_of(old_image)
+                    for _address, old_image, _new in items
+                ]
+        for member in self.members:
+            if not member.uses_codewords:
+                for index, (address, old_image, new_image) in enumerate(items):
+                    result = member.on_end_update(txn, address, old_image, new_image)
+                    if checksums[index] is None:
+                        checksums[index] = result
+        return checksums
+
+    def close_update_window_batch(
+        self, txn: Transaction, regions: list[tuple[int, int]]
+    ) -> None:
+        if self.maintainer is not None:
+            self.maintainer.release_window(txn)
+        for member in self.members:
+            if not member.uses_codewords:
+                for address, length in regions:
+                    member.close_update_window(txn, address, length)
+
     def on_operation_end(self, txn: Transaction) -> None:
         for member in self.members:
             member.on_operation_end(txn)

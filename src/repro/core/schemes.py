@@ -88,6 +88,42 @@ class ProtectionScheme(ABC):
         Section 3.1).
         """
 
+    # ------------------------------------------------------ batch hooks
+    #
+    # Multi-region update windows (``begin_updates`` / batched
+    # ``update()`` coalescing) dispatch through these.  The defaults loop
+    # the scalar hooks, so every scheme is batch-correct by construction;
+    # the pipeline overrides them to drive the shared maintainer's
+    # vectorized batch fold instead.
+
+    def on_begin_update_batch(
+        self, txn: Transaction, regions: list[tuple[int, int]]
+    ) -> None:
+        """Called when a multi-region update window opens."""
+        for address, length in regions:
+            self.on_begin_update(txn, address, length)
+
+    def on_end_update_batch(
+        self, txn: Transaction, items: list[tuple[int, bytes, bytes]]
+    ) -> list[int | None]:
+        """Called when a multi-region window closes.
+
+        ``items`` holds ``(address, old_image, new_image)`` per range;
+        returns the per-range old-image checksums (``None`` entries for
+        schemes that do not log them), positionally matching ``items``.
+        """
+        return [
+            self.on_end_update(txn, address, old_image, new_image)
+            for address, old_image, new_image in items
+        ]
+
+    def close_update_window_batch(
+        self, txn: Transaction, regions: list[tuple[int, int]]
+    ) -> None:
+        """Release a multi-region window abandoned before ``end_update``."""
+        for address, length in regions:
+            self.close_update_window(txn, address, length)
+
     def on_operation_end(self, txn: Transaction) -> None:
         """Called at operation commit/abort (clears per-op scheme caches)."""
 

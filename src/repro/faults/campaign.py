@@ -75,6 +75,9 @@ class CampaignSpec:
     ops_per_schedule: int = 24
     accounts: int = 16
     region_size: int = 256
+    #: Memory-image backing for every schedule's database ("heap" or
+    #: "mmap"); wild writes must be detected identically either way.
+    image_backing: str = "heap"
 
     @property
     def total_schedules(self) -> int:
@@ -190,6 +193,7 @@ class CampaignResult:
                 "ops_per_schedule": self.spec.ops_per_schedule,
                 "accounts": self.spec.accounts,
                 "region_size": self.spec.region_size,
+                "image_backing": self.spec.image_backing,
             },
             "schedules": len(self.outcomes),
             "false_negatives": len(self.false_negatives),
@@ -275,6 +279,7 @@ class _Schedule:
             scheme=self.scheme,
             scheme_params={"region_size": self.spec.region_size},
             quarantine=True,
+            image_backing=self.spec.image_backing,
         )
         db = Database(config)
         db.create_table("acct", schema, capacity=max(64, self.spec.accounts * 2),

@@ -16,19 +16,33 @@ Three write paths exist, mirroring the paper's threat model:
   hardware-protected page, because the MMU does not care about intent.
 * checkpoint restore -- bulk replacement of segment contents during
   recovery, below the MMU.
+
+Segment storage is pluggable: the default keeps each segment in a
+``bytearray`` (heap backing), while ``backing="mmap"`` maps each segment
+onto a sparse file so images larger than RAM stay usable.  An ``mmap``
+object satisfies the same buffer protocol a ``bytearray`` does -- slice
+assignment, ``memoryview``, ``np.frombuffer`` -- so every consumer
+(audit kernel, fault injector, checkpointer) works unchanged on either
+backing.  The backing file models *swap*, not durable storage: it is
+recreated zeroed whenever the image is rebuilt, and recovery still loads
+state from the checkpoint, never from the backing file.
 """
 
 from __future__ import annotations
 
+import mmap
+import os
 from bisect import bisect_right
 from dataclasses import dataclass, field
-from typing import TYPE_CHECKING, Iterator
+from typing import TYPE_CHECKING, BinaryIO, Iterator
 
 from repro.errors import ConfigError, MemoryError_
 from repro.mem.pages import DirtyPageTable, PAGE_SIZE_DEFAULT
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.mem.mprotect import SimulatedMMU
+
+MEMORY_BACKINGS = ("heap", "mmap")
 
 
 @dataclass
@@ -39,7 +53,7 @@ class Segment:
     base: int
     size: int
     kind: str  # "data" or "control"
-    data: bytearray = field(repr=False, default_factory=bytearray)
+    data: "bytearray | mmap.mmap" = field(repr=False, default_factory=bytearray)
 
     def __post_init__(self) -> None:
         if not self.data:
@@ -56,10 +70,23 @@ class Segment:
 class MemoryImage:
     """Flat address space composed of page-aligned segments."""
 
-    def __init__(self, page_size: int = PAGE_SIZE_DEFAULT) -> None:
+    def __init__(
+        self,
+        page_size: int = PAGE_SIZE_DEFAULT,
+        backing: str = "heap",
+        backing_dir: str | None = None,
+    ) -> None:
         if page_size <= 0 or page_size % 8 != 0:
             raise ConfigError(f"page size must be a positive multiple of 8: {page_size}")
+        if backing not in MEMORY_BACKINGS:
+            raise ConfigError(
+                f"memory backing must be one of {MEMORY_BACKINGS}: {backing!r}"
+            )
+        if backing == "mmap" and not backing_dir:
+            raise ConfigError("mmap backing needs a backing_dir for segment files")
         self.page_size = page_size
+        self.backing = backing
+        self.backing_dir = backing_dir
         self.dirty_pages = DirtyPageTable()
         self.mmu: "SimulatedMMU | None" = None
         self._segments: list[Segment] = []
@@ -68,6 +95,11 @@ class MemoryImage:
         # contiguously), so address -> segment is a bisect, not a scan.
         self._bases: list[int] = []
         self._next_base = 0
+        # Open backing files, by segment name (mmap backing only).  Kept
+        # open so the checkpointer can copy_file_range straight from the
+        # backing file into a checkpoint image without staging the bytes
+        # through Python.
+        self._backing_files: dict[str, BinaryIO] = {}
 
     # ------------------------------------------------------------ layout
 
@@ -82,12 +114,58 @@ class MemoryImage:
         # Round up to whole pages so a segment never shares a page with
         # another segment (page-granular protection stays per-segment).
         size = -(-size // self.page_size) * self.page_size
-        segment = Segment(name=name, base=self._next_base, size=size, kind=kind)
+        data: bytearray | mmap.mmap = bytearray()
+        if self.backing == "mmap":
+            data = self._map_segment_file(name, size)
+        segment = Segment(name=name, base=self._next_base, size=size, kind=kind, data=data)
         self._segments.append(segment)
         self._by_name[name] = segment
         self._bases.append(segment.base)
         self._next_base += size
         return segment
+
+    def _map_segment_file(self, name: str, size: int) -> mmap.mmap:
+        """Create a zeroed sparse backing file for a segment and map it.
+
+        An existing file (a previous incarnation of this database) is
+        unlinked rather than truncated in place: truncation would yank the
+        pages out from under any still-live mapping of the old image and
+        turn later accesses into SIGBUS.  Unlinking leaves the old inode
+        alive for old mappings while this image gets a fresh, fully sparse
+        file -- exactly the semantics of volatile memory that did not
+        survive the crash.
+        """
+        assert self.backing_dir is not None
+        os.makedirs(self.backing_dir, exist_ok=True)
+        path = os.path.join(self.backing_dir, f"{name}.seg")
+        if os.path.exists(path):
+            os.unlink(path)
+        handle = open(path, "w+b")
+        handle.truncate(size)
+        self._backing_files[name] = handle
+        return mmap.mmap(handle.fileno(), size)
+
+    def backing_range(self, address: int, length: int) -> tuple[BinaryIO, int] | None:
+        """``(backing_file, file_offset)`` for an in-segment range.
+
+        Returns ``None`` on heap backing or when the range straddles a
+        segment boundary; the caller (checkpoint page propagation) then
+        falls back to copying the bytes through Python.
+        """
+        if self.backing != "mmap":
+            return None
+        segment = self._segment_at(address)
+        if address + length > segment.end:
+            return None
+        return self._backing_files[segment.name], address - segment.base
+
+    def flush_backing(self) -> None:
+        """msync every mapped segment to its backing file (test helper;
+        on Linux the unified page cache makes file reads coherent with
+        mmap stores even without this)."""
+        for segment in self._segments:
+            if isinstance(segment.data, mmap.mmap):
+                segment.data.flush()
 
     def segment(self, name: str) -> Segment:
         try:

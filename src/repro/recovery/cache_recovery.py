@@ -74,7 +74,10 @@ def repair_regions(db: "Database", region_ids: list[int]) -> int:
     maintainer = getattr(db.scheme, "maintainer", None)
     if maintainer is not None:
         # A repaired region matches its (recomputed) codeword again;
-        # release it from quarantine so reads flow.
+        # release it from quarantine so reads flow.  The repair wrote
+        # below the hooks, so an in-flight background sweep must
+        # re-check these regions at join.
+        maintainer.note_repair(region_ids)
         maintainer.unquarantine(region_ids)
     return repaired
 

@@ -129,10 +129,47 @@ class Checkpointer:
         if not os.path.exists(path):
             with open(path, "wb") as handle:
                 handle.truncate(db.memory.size)
+        use_copy_range = hasattr(os, "copy_file_range")
         with open(path, "r+b") as handle:
             for page_id in pages:
-                handle.seek(page_id * page_size)
+                address = page_id * page_size
+                if use_copy_range:
+                    # mmap backing: a dirty page propagates file-to-file,
+                    # backing file -> checkpoint image, without staging the
+                    # bytes through Python.  Pages never straddle segments
+                    # (segments are page-rounded), so a single range covers
+                    # the page.  Correctness relies on the unified page
+                    # cache: file reads observe mmap stores.
+                    src = db.memory.backing_range(address, page_size)
+                    if src is not None:
+                        src_file, src_offset = src
+                        if self._copy_range(
+                            src_file, handle, page_size, src_offset, address
+                        ):
+                            continue
+                handle.seek(address)
                 handle.write(db.memory.page_bytes(page_id))
+
+    @staticmethod
+    def _copy_range(src, dst, count: int, src_offset: int, dst_offset: int) -> bool:
+        """Kernel-side copy of ``count`` bytes; False sends the caller to
+        the portable read/write fallback."""
+        copied = 0
+        while copied < count:
+            try:
+                n = os.copy_file_range(
+                    src.fileno(),
+                    dst.fileno(),
+                    count - copied,
+                    src_offset + copied,
+                    dst_offset + copied,
+                )
+            except OSError:  # pragma: no cover - filesystem without support
+                return False
+            if n == 0:  # pragma: no cover - unexpected short copy
+                return False
+            copied += n
+        return True
 
     def _write_meta(self, image: str, ck_end: int, audit_sn: int, att: bytes) -> None:
         blob = _META.pack(ck_end, audit_sn, len(att)) + att
@@ -158,16 +195,30 @@ class Checkpointer:
         if anchor is None:
             raise CheckpointError("no checkpoint anchor; cannot recover")
         image = anchor["image"]
-        with open(self._image_path(image), "rb") as handle:
-            content = handle.read()
         db = self.db
-        if len(content) != db.memory.size:
-            raise CheckpointError(
-                f"checkpoint image is {len(content)} bytes, memory is "
-                f"{db.memory.size}"
-            )
-        for segment in db.memory.segments:
-            segment.data[:] = content[segment.base : segment.end]
+        with open(self._image_path(image), "rb") as handle:
+            image_size = os.fstat(handle.fileno()).st_size
+            if image_size != db.memory.size:
+                raise CheckpointError(
+                    f"checkpoint image is {image_size} bytes, memory is "
+                    f"{db.memory.size}"
+                )
+            # Stream segment by segment straight into the segment buffers
+            # (bytearray or mmap alike) -- no whole-image staging copy, so
+            # loading a larger-than-RAM mmap-backed image never doubles
+            # its footprint.
+            for segment in db.memory.segments:
+                handle.seek(segment.base)
+                view = memoryview(segment.data)
+                filled = 0
+                while filled < segment.size:
+                    n = handle.readinto(view[filled:])
+                    if not n:  # pragma: no cover - size checked above
+                        raise CheckpointError(
+                            f"checkpoint image truncated inside segment "
+                            f"{segment.name!r}"
+                        )
+                    filled += n
         with open(self._meta_path(image), "rb") as handle:
             blob = handle.read()
         ck_end, audit_sn, att_len = _META.unpack_from(blob, 0)

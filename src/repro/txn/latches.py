@@ -27,7 +27,9 @@ class Latch:
 
     def __init__(self, name: str) -> None:
         self.name = name
-        self._cond = threading.Condition()
+        self._lock = threading.Lock()
+        self._cond = threading.Condition(self._lock)
+        self._waiters = 0
         self._shared_holders: dict[int, int] = {}  # thread id -> depth
         self._exclusive_owner: int | None = None
         self._exclusive_depth = 0
@@ -39,17 +41,29 @@ class Latch:
         if mode not in (SHARED, EXCLUSIVE):
             raise LatchError(f"bad latch mode {mode!r}")
         me = threading.get_ident()
-        with self._cond:
-            deadline = None if timeout is None else (
-                threading.TIMEOUT_MAX if timeout <= 0 else timeout
-            )
-            while not self._grantable(mode, me):
-                if not self._cond.wait(timeout=deadline):
-                    raise LatchError(
-                        f"timeout acquiring latch {self.name!r} in mode {mode}"
-                    )
+        # Take the raw lock directly: latch acquisition is on the
+        # per-update hot path, and ``Condition.__enter__`` is a
+        # Python-level wrapper around this same lock.
+        self._lock.acquire()
+        try:
+            if not self._grantable(mode, me):
+                deadline = None if timeout is None else (
+                    threading.TIMEOUT_MAX if timeout <= 0 else timeout
+                )
+                self._waiters += 1
+                try:
+                    while not self._grantable(mode, me):
+                        if not self._cond.wait(timeout=deadline):
+                            raise LatchError(
+                                f"timeout acquiring latch {self.name!r} "
+                                f"in mode {mode}"
+                            )
+                finally:
+                    self._waiters -= 1
             self._grant(mode, me)
             self.acquire_count += 1
+        finally:
+            self._lock.release()
 
     def _grantable(self, mode: str, me: int) -> bool:
         if self._exclusive_owner == me:
@@ -81,7 +95,8 @@ class Latch:
 
     def release(self) -> None:
         me = threading.get_ident()
-        with self._cond:
+        self._lock.acquire()
+        try:
             if self._exclusive_owner == me:
                 self._exclusive_depth -= 1
                 if self._exclusive_depth == 0:
@@ -94,7 +109,10 @@ class Latch:
                 raise LatchError(
                     f"thread releasing latch {self.name!r} it does not hold"
                 )
-            self._cond.notify_all()
+            if self._waiters:
+                self._cond.notify_all()
+        finally:
+            self._lock.release()
 
     # ------------------------------------------------------------ views
 
@@ -133,6 +151,12 @@ class LatchTable:
         self._guard = threading.Lock()
 
     def latch(self, key: int) -> Latch:
+        # Double-checked fast path: dict reads are atomic under the GIL,
+        # and this lookup is on the per-update hot path.  The guard is
+        # only taken to serialize creation of a missing latch.
+        latch = self._latches.get(key)
+        if latch is not None:
+            return latch
         with self._guard:
             latch = self._latches.get(key)
             if latch is None:

@@ -23,7 +23,7 @@ class TxnStatus(Enum):
     ABORTED = "aborted"
 
 
-@dataclass
+@dataclass(slots=True)
 class Operation:
     """An open multi-level operation (level >= 1)."""
 
@@ -34,14 +34,74 @@ class Operation:
     undo_mark: int = 0  # undo log position at operation begin
 
 
-@dataclass
-class PendingUpdate:
-    """State of an open ``begin_update``/``end_update`` window."""
+@dataclass(slots=True)
+class WindowRegion:
+    """One contiguous range of an open update window.
+
+    ``new_image`` accumulates the bytes written into the range (seeded
+    from the undo image), so ``end_update`` can log the redo image
+    without re-reading the window from memory.
+    """
 
     address: int
     length: int
     undo_image: bytes
     undo_index: int  # position of the PhysicalUndo entry in the undo log
+    new_image: bytearray = field(repr=False, default_factory=bytearray)
+
+    def __post_init__(self) -> None:
+        if not self.new_image and self.length:
+            self.new_image = bytearray(self.undo_image)
+
+
+@dataclass
+class PendingUpdate:
+    """State of an open ``begin_update``/``end_update`` window.
+
+    A window covers one or more target ranges (``begin_updates`` opens a
+    multi-region window; the scalar ``begin_update`` is the one-region
+    special case).  ``coalescing`` marks windows the manager opened
+    implicitly to batch consecutive ``update()`` calls under
+    ``DBConfig(update_batch=N)``; such windows are flushed automatically
+    before any read, operation commit or explicit window open.
+    """
+
+    regions: list[WindowRegion]
+    coalescing: bool = False
+    # Begin-side meter charges owed by coalescing extensions, paid in
+    # bulk when the window closes (``TxnManager.end_update``).
+    uncharged_ranges: int = 0
+    uncharged_bytes: int = 0
+
+    def __post_init__(self) -> None:
+        # (address, length) -> latest region with exactly that range; the
+        # fast path for whole-range writes (how update() and the storage
+        # layer write).  "Latest wins" matches the sequential-delta rule
+        # for coalescing windows that revisit an address.
+        self._by_range = {(r.address, r.length): r for r in self.regions}
+
+    def add_region(self, region: WindowRegion) -> None:
+        self.regions.append(region)
+        self._by_range[(region.address, region.length)] = region
+
+    def exact_region(self, address: int, length: int) -> WindowRegion | None:
+        return self._by_range.get((address, length))
+
+    @property
+    def address(self) -> int:
+        return self.regions[0].address
+
+    @property
+    def length(self) -> int:
+        return self.regions[0].length
+
+    @property
+    def undo_image(self) -> bytes:
+        return self.regions[0].undo_image
+
+    @property
+    def undo_index(self) -> int:
+        return self.regions[0].undo_index
 
 
 class Transaction:

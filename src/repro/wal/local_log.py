@@ -20,7 +20,7 @@ from repro.errors import LogError
 from repro.wal.records import LogRecord, LogicalUndo
 
 
-@dataclass
+@dataclass(slots=True)
 class PhysicalUndo:
     """Before-image of one physical (level-0) update."""
 
@@ -33,7 +33,7 @@ class PhysicalUndo:
     LEVEL = 0
 
 
-@dataclass
+@dataclass(slots=True)
 class LogicalUndoEntry:
     """Logical undo for a committed operation (replaces its physical undos)."""
 

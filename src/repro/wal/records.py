@@ -103,14 +103,14 @@ class LogicalUndo:
         return cls(op_name, tuple(args)), offset
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class LogRecord:
     """Base class; ``lsn`` is assigned when the record reaches the system log."""
 
     txn_id: int
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class UpdateRecord(LogRecord):
     """Physical redo: the after-image of an in-place update."""
 
@@ -126,7 +126,7 @@ class UpdateRecord(LogRecord):
         return 21 + len(self.image)
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class ReadRecord(LogRecord):
     """Limited read logging: item identity, not the value (Section 4.2)."""
 
@@ -138,7 +138,7 @@ class ReadRecord(LogRecord):
         return 21
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class OpBeginRecord(LogRecord):
     op_id: int = 0
     level: int = 1
@@ -148,7 +148,7 @@ class OpBeginRecord(LogRecord):
         return 15 + len(self.object_key)
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class OpCommitRecord(LogRecord):
     op_id: int = 0
     level: int = 1
@@ -159,7 +159,7 @@ class OpCommitRecord(LogRecord):
         return 15 + len(self.object_key) + len(self.logical_undo.op_name) + 8
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class TxnBeginRecord(LogRecord):
     """Transaction start.  ``is_recovery`` marks compensation transactions
     spawned by restart recovery's undo phase: an archive replay must never
@@ -172,19 +172,19 @@ class TxnBeginRecord(LogRecord):
         return 9
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class TxnCommitRecord(LogRecord):
     def approx_size(self) -> int:
         return 8
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class TxnAbortRecord(LogRecord):
     def approx_size(self) -> int:
         return 8
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class AuditBeginRecord(LogRecord):
     """Marks the start of an audit; txn_id doubles as the audit id."""
 
@@ -192,7 +192,7 @@ class AuditBeginRecord(LogRecord):
         return 8
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class AuditEndRecord(LogRecord):
     clean: bool = True
     corrupt_regions: tuple[int, ...] = ()
@@ -202,7 +202,7 @@ class AuditEndRecord(LogRecord):
         return 17 + 4 * len(self.corrupt_regions)
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class AmendRecord(LogRecord):
     """Log amendment written at the end of corruption recovery.
 
