@@ -19,6 +19,11 @@ Three measurements, written to ``BENCH_txn.json`` at the repo root:
   windows of 1 vs 8, and audit latency vs dirty-set size against a full
   sweep (virtual ns makes the scaling deterministic; wall time is
   reported for flavour).
+* **lock_release** -- the serving-era fast path.  With many concurrent
+  sessions' grants resident in one lock table, releasing a transaction
+  must be O(locks held), not O(lock table).  The baseline is the
+  pre-index release copied inline below (full-table scan + per-key list
+  rebuild); the gate requires the reverse-indexed release to beat it.
 
 ``TXN_BENCH_QUICK=1`` shrinks the workload and relaxes the lifecycle
 gate for CI smoke runs.
@@ -38,6 +43,7 @@ from repro import Database, DBConfig, Field, FieldType, Schema
 from repro.sim.clock import Meter, VirtualClock
 from repro.sim.costs import DEFAULT_COSTS
 from repro.txn.latches import Latch
+from repro.txn.locks import LockManager, LockMode
 from repro.wal.records import (
     RecordType,
     TxnBeginRecord,
@@ -196,6 +202,40 @@ class SeedLog:
 
     def close(self) -> None:
         self._file.close()
+
+
+class SeedReleaseLockManager(LockManager):
+    """The pre-index release, inlined as the lock-table baseline.
+
+    Acquire/conflict logic is inherited; only the release paths revert
+    to the original full-table scan with per-key list rebuilds.  The
+    reverse index is kept consistent so inherited invariants hold, but
+    the scans below never consult it -- exactly the seed cost model.
+    """
+
+    def release_operation(self, txn_id: int, op_id: int) -> None:
+        with self._mutex:
+            for key in list(self._table):
+                grants = self._table[key]
+                grants[:] = [
+                    g
+                    for g in grants
+                    if not (
+                        g.txn_id == txn_id and g.duration == "op" and g.op_id == op_id
+                    )
+                ]
+                if not grants:
+                    del self._table[key]
+                    self._txn_keys.get(txn_id, set()).discard(key)
+
+    def release_all(self, txn_id: int) -> None:
+        with self._mutex:
+            for key in list(self._table):
+                grants = self._table[key]
+                grants[:] = [g for g in grants if g.txn_id != txn_id]
+                if not grants:
+                    del self._table[key]
+            self._txn_keys.pop(txn_id, None)
 
 
 # --------------------------------------------------------------------------
@@ -374,6 +414,59 @@ def commit_results(tmp_path_factory) -> dict:
     return entries
 
 
+LOCK_BG_SESSIONS = 16 if QUICK else 64
+LOCK_KEYS_PER_SESSION = 4
+LOCK_HOT_KEYS = 4
+LOCK_CYCLES = 200 if QUICK else 1000
+REQUIRED_LOCK_RELEASE_SPEEDUP = 1.2 if QUICK else 2.0
+
+
+@pytest.fixture(scope="module")
+def lock_release_results() -> dict:
+    """Time the hot transaction's release cycle against a populated table.
+
+    ``LOCK_BG_SESSIONS`` resident sessions each hold
+    ``LOCK_KEYS_PER_SESSION`` private txn-duration grants -- the steady
+    state of the concurrent serving front-end.  The hot transaction then
+    runs acquire/release cycles; the seed baseline pays O(table) per
+    release, the indexed path O(locks held).
+    """
+
+    def populate(locks) -> None:
+        for session in range(LOCK_BG_SESSIONS):
+            txn_id = 1000 + session
+            for k in range(LOCK_KEYS_PER_SESSION):
+                locks.acquire(txn_id, f"bg:{session}:{k}", LockMode.EXCLUSIVE)
+
+    def cycle(locks) -> None:
+        hot = 7
+        for i in range(LOCK_CYCLES):
+            for k in range(LOCK_HOT_KEYS):
+                locks.acquire(hot, f"hot:{k}", LockMode.EXCLUSIVE)
+            locks.acquire(hot, "hot:op", LockMode.EXCLUSIVE, duration="op", op_id=i)
+            locks.release_operation(hot, i)
+            locks.release_all(hot)
+
+    entries = {}
+    for label, factory in (("seed", SeedReleaseLockManager), ("indexed", LockManager)):
+        locks = factory()
+        populate(locks)
+        wall_s, _ = _best_of(lambda locks=locks: cycle(locks), 3)
+        # The baseline must not have shed the resident grants; otherwise
+        # it timed an empty table.
+        assert len(locks._table) == LOCK_BG_SESSIONS * LOCK_KEYS_PER_SESSION
+        entries[label] = wall_s
+    return {
+        "background_sessions": LOCK_BG_SESSIONS,
+        "resident_grants": LOCK_BG_SESSIONS * LOCK_KEYS_PER_SESSION,
+        "hot_keys": LOCK_HOT_KEYS,
+        "cycles": LOCK_CYCLES,
+        "seed_s": entries["seed"],
+        "indexed_s": entries["indexed"],
+        "speedup": entries["seed"] / entries["indexed"],
+    }
+
+
 @pytest.fixture(scope="module")
 def audit_results(tmp_path_factory) -> dict:
     db = _make_db(
@@ -449,13 +542,27 @@ class TestTxnPath:
             < commit_results["group_commit_1"]["flush_fixed"]
         )
 
+    def test_lock_release_is_o_locks_held(self, lock_release_results):
+        assert lock_release_results["speedup"] >= REQUIRED_LOCK_RELEASE_SPEEDUP, (
+            f"indexed lock release only "
+            f"{lock_release_results['speedup']:.2f}x faster than the "
+            f"full-table-scan seed against "
+            f"{lock_release_results['resident_grants']} resident grants "
+            f"(required {REQUIRED_LOCK_RELEASE_SPEEDUP}x)"
+        )
+
     def test_incremental_audit_scales_with_dirty_set(self, audit_results):
         costs = [e["virtual_ns"] for e in audit_results["dirty"]]
         assert costs == sorted(costs)  # audit cost grows with the dirty set
         assert costs[-1] < audit_results["full_sweep"]["virtual_ns"]
 
     def test_emit_bench_json(
-        self, lifecycle_results, codec_results, commit_results, audit_results
+        self,
+        lifecycle_results,
+        codec_results,
+        commit_results,
+        audit_results,
+        lock_release_results,
     ):
         payload = {
             "version": 1,
@@ -464,6 +571,7 @@ class TestTxnPath:
             "codec": codec_results,
             "commit_path": commit_results,
             "incremental_audit": audit_results,
+            "lock_release": lock_release_results,
         }
         with open(BENCH_PATH, "w") as handle:
             json.dump(payload, handle, indent=2)

@@ -9,6 +9,8 @@ Usage::
     python -m repro.bench --json BENCH_tables.json   # machine-readable copy
     python -m repro.bench --profile       # cProfile the TPC-B update loop
     python -m repro.bench --faults --faults-backing mmap
+    python -m repro.bench --serving       # concurrent-session throughput/latency
+    python -m repro.bench --serving --serving-quick   # CI smoke variant
 """
 
 from __future__ import annotations
@@ -285,6 +287,26 @@ def main(argv: list[str] | None = None) -> int:
         help="memory-image backing for campaign databases (default: heap)",
     )
     parser.add_argument(
+        "--serving",
+        action="store_true",
+        help="run the concurrent-serving benchmark (threaded scheduler, "
+        "N sessions over one protected image): throughput + p50/p99 "
+        "latency vs client count, with/without group commit, plus a "
+        "fault campaign under concurrency (exit 1 on any false negative)",
+    )
+    parser.add_argument(
+        "--serving-quick",
+        action="store_true",
+        help="shrink the --serving matrix for CI smoke runs",
+    )
+    parser.add_argument(
+        "--serving-json",
+        metavar="PATH",
+        default="BENCH_serving.json",
+        help="where --serving writes its JSON artifact "
+        "(default: BENCH_serving.json)",
+    )
+    parser.add_argument(
         "--profile",
         action="store_true",
         help="cProfile one TPC-B run and print the hottest frames by "
@@ -306,6 +328,11 @@ def main(argv: list[str] | None = None) -> int:
     if args.profile:
         print_profile(args.scale, args.profile_scheme, args.profile_top)
         return 0
+
+    if args.serving:
+        from repro.bench.serving import run_serving_benchmark
+
+        return run_serving_benchmark(args.serving_json, quick=args.serving_quick)
 
     table1 = None
     table2 = None

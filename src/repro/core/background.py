@@ -1,71 +1,103 @@
-"""Background full-sweep audit worker.
+"""Background full-sweep audit work, scheduled not self-managed.
 
 The full-sweep certification fold is one big ``np.bitwise_xor.reduce``
 over the image (:meth:`~repro.core.regions.CodewordTable.fold_all`), and
-numpy releases the GIL for the reduction -- so the fold can run in a
-worker thread while the (pure-Python) mutator keeps executing.  The
-Sandboxing-STM observation motivating this: validate concurrently with
-the mutator, not inline on its critical path.
+numpy releases the GIL for the reduction -- so under a *threaded*
+scheduler the fold runs on a worker thread while the (pure-Python)
+mutator keeps executing.  The Sandboxing-STM observation motivating
+this: validate concurrently with the mutator, not inline on its
+critical path.
 
-Only the *fold* runs off-thread.  Everything stateful -- log records,
-meter charges, the verdict against the stored codewords, the re-check of
-regions the mutator touched while the fold raced it -- happens on the
-driver thread at join (see :meth:`~repro.core.audit.Auditor.join_background_sweep`),
-so no lock discipline beyond the snapshot/epoch handshake with the
-maintainer's dirty-set is needed.
+This module used to own a private ``threading.Thread``; it now asks the
+:class:`~repro.runtime.scheduler.Scheduler` for a
+:class:`~repro.runtime.scheduler.TaskHandle` instead, so sweeps obey
+the database's one ownership model: the scheduler knows every in-flight
+fold, and the shutdown/crash drain settles them in a fixed order.
+Under a *deterministic* scheduler the fold defers and runs inline at
+join -- same verdict, same meter charges, no threads.
+
+Only the *fold* is background work.  Everything stateful -- log
+records, meter charges, the verdict against the stored codewords, the
+re-check of regions the mutator touched while the fold raced it --
+happens on the joining thread
+(:meth:`~repro.core.audit.Auditor.join_background_sweep`), so no lock
+discipline beyond the snapshot/epoch handshake with the maintainer's
+dirty-set is needed.
 """
 
 from __future__ import annotations
 
-import threading
+from typing import TYPE_CHECKING
 
 import numpy as np
 
 from repro.core.regions import CodewordTable
+from repro.runtime.scheduler import TaskHandle, ThreadHandle
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.runtime.scheduler import Scheduler
 
 
 class BackgroundSweep:
-    """One in-flight full-sweep fold running in a worker thread."""
+    """One in-flight full-sweep fold, owned by a scheduler."""
 
-    def __init__(self, audit_id: int, begin_lsn: int, table: CodewordTable) -> None:
+    def __init__(
+        self,
+        audit_id: int,
+        begin_lsn: int,
+        table: CodewordTable,
+        scheduler: "Scheduler | None" = None,
+    ) -> None:
         self.audit_id = audit_id
         #: LSN of the sweep's AuditBegin record.  A clean sweep advances
         #: ``Audit_SN`` to this LSN, not the join LSN -- corruption
         #: anywhere could have occurred any time after the fold started.
         self.begin_lsn = begin_lsn
         self.table = table
-        self._computed: np.ndarray | None = None
-        self._error: BaseException | None = None
-        self._thread = threading.Thread(
-            target=self._run, name=f"audit-sweep-{audit_id}", daemon=True
-        )
+        self.scheduler = scheduler
+        self._handle: TaskHandle | None = None
 
     def start(self) -> None:
-        self._thread.start()
-
-    def _run(self) -> None:
-        try:
-            self._computed = self.table.fold_all()
-        except BaseException as exc:  # pragma: no cover - defensive
-            self._error = exc
+        name = f"audit.sweep.{self.audit_id}"
+        if self.scheduler is not None:
+            self._handle = self.scheduler.spawn(name, self.table.fold_all)
+        else:
+            # Direct construction without a scheduler (unit tests driving
+            # the auditor bare) keeps the historical worker-thread shape.
+            self._handle = ThreadHandle(name, self.table.fold_all)
 
     @property
     def done(self) -> bool:
         """Whether the fold has finished (join will not block)."""
-        return not self._thread.is_alive()
+        return self._handle is not None and self._handle.done
 
     def join(self) -> np.ndarray:
-        """Wait for the fold; returns the computed per-region codewords."""
-        self._thread.join()
-        if self._error is not None:  # pragma: no cover - defensive
-            raise self._error
-        assert self._computed is not None
-        return self._computed
+        """Wait for (or, deferred, run) the fold; returns the codewords.
+
+        Idempotent: the handle caches its value, so the test pattern
+        "join the fold early, then deliver the verdict later" works in
+        both scheduler modes.
+        """
+        assert self._handle is not None, "sweep never started"
+        computed = self._handle.result()
+        self._deregister()
+        assert computed is not None
+        return computed
 
     def abandon(self) -> None:
-        """Wait the worker out and discard its result (crash/close)."""
-        self._thread.join()
+        """Settle the work without a verdict (crash/close).
+
+        A threaded fold is waited out and its result discarded; a
+        deferred fold is simply dropped -- it never ran.
+        """
+        if self._handle is not None:
+            self._handle.abandon()
+            self._deregister()
+
+    def _deregister(self) -> None:
+        if self.scheduler is not None and self._handle is not None:
+            self.scheduler.forget(self._handle)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
-        state = "done" if self.done else "running"
+        state = "done" if self.done else "pending"
         return f"BackgroundSweep(audit_id={self.audit_id}, {state})"

@@ -134,3 +134,17 @@ class CheckpointError(ReproError):
 
 class WorkloadError(ReproError):
     """Benchmark workload misconfiguration."""
+
+
+class ServeError(ReproError):
+    """Serving front-end misuse (closed session, unknown op...)."""
+
+
+class BackpressureError(ServeError):
+    """The server's admission queue is full; retry after backoff.
+
+    Raised to the *submitting* client instead of growing the queue
+    without bound -- the server sheds load at admission, it does not
+    melt down under it.
+    """
+

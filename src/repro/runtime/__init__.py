@@ -1,0 +1,27 @@
+"""Runtime subsystem: the explicit task scheduler.
+
+See :mod:`repro.runtime.scheduler` for the model (tick tasks, background
+handles, drain steps) and ``docs/serving.md`` for the task taxonomy.
+"""
+
+from repro.runtime.scheduler import (
+    DETERMINISTIC,
+    THREADED,
+    InlineHandle,
+    Scheduler,
+    TaskHandle,
+    TaskInfo,
+    ThreadHandle,
+    resolve_scheduler_mode,
+)
+
+__all__ = [
+    "DETERMINISTIC",
+    "THREADED",
+    "InlineHandle",
+    "Scheduler",
+    "TaskHandle",
+    "TaskInfo",
+    "ThreadHandle",
+    "resolve_scheduler_mode",
+]

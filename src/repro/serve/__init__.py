@@ -1,0 +1,18 @@
+"""Serving front-end: concurrent sessions over one protected image.
+
+The paper's performance study drives the storage manager from a single
+benchmark loop.  This package adds the missing runtime half: a
+:class:`~repro.serve.server.Server` multiplexes N client sessions over
+the same lock/latch managers, with per-session transaction state, a
+request/response operation protocol, bounded admission (backpressure),
+and per-session error containment -- one session hitting a quarantined
+region or a lock conflict fails alone, it does not take the server down.
+
+See ``docs/serving.md`` for the runtime model and knobs.
+"""
+
+from repro.serve.protocol import Request, Response
+from repro.serve.server import Server
+from repro.serve.session import Session
+
+__all__ = ["Request", "Response", "Server", "Session"]

@@ -1,0 +1,71 @@
+"""Request/response protocol between serving clients and sessions.
+
+Requests are plain data (no database objects cross the boundary), so a
+client can be a thread today and a socket tomorrow without changing the
+session layer.  One request maps to one session-layer action:
+
+==========  ============================================  ==============
+op          arguments                                     result value
+==========  ============================================  ==============
+begin                                                     txn id
+commit                                                    txn id
+abort                                                     txn id
+insert      table, values                                 slot id
+read        table, slot                                   row dict
+update      table, slot, values                           slot id
+delete      table, slot                                   slot id
+lookup      table, key                                    slot id or None
+query       table, key                                    row dict or None
+==========  ============================================  ==============
+
+``query`` is the TPC-B style point read: an index lookup followed by a
+record read, both inside the session's open transaction.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+#: Every op the session layer dispatches.
+OPS = (
+    "begin",
+    "commit",
+    "abort",
+    "insert",
+    "read",
+    "update",
+    "delete",
+    "lookup",
+    "query",
+)
+
+
+@dataclass(frozen=True)
+class Request:
+    """One client operation."""
+
+    op: str
+    table: str | None = None
+    slot: int | None = None
+    key: int | None = None
+    values: dict | None = field(default=None)
+    #: Client-chosen correlation id, echoed in the response.
+    request_id: int = 0
+
+
+@dataclass(frozen=True)
+class Response:
+    """Outcome of one request.
+
+    ``ok=False`` carries the error class name (``error``) and message
+    (``detail``); the session's transaction -- if one was open -- has
+    already been rolled back, so the client may immediately retry with a
+    fresh ``begin``.
+    """
+
+    ok: bool
+    op: str
+    request_id: int = 0
+    value: object = None
+    error: str | None = None
+    detail: str = ""

@@ -1,0 +1,183 @@
+"""The server: bounded admission over a pool of session executors.
+
+Clients interact synchronously -- ``server.submit(session, request)``
+returns that request's :class:`~repro.serve.protocol.Response` -- but
+what happens in between depends on the database's scheduler mode:
+
+* **threaded**: requests are admitted into a bounded queue and executed
+  by worker threads.  A full queue raises
+  :class:`~repro.errors.BackpressureError` to the submitting client
+  instead of buffering without bound -- load is shed at admission.
+* **deterministic**: the request executes inline on the submitting
+  thread (no queue, no workers).  Session semantics -- per-session
+  transactions, error containment, the op protocol -- are identical,
+  which is what lets the session tests run in both modes.
+
+The server adds no locking of its own around database state: the lock
+manager, latches, system-log mutex and scheduler already make the
+storage layers safe for concurrent sessions; the server only guards its
+own session registry and queue.
+"""
+
+from __future__ import annotations
+
+import queue
+import threading
+from typing import TYPE_CHECKING
+
+from repro.errors import BackpressureError, ServeError
+from repro.runtime.scheduler import THREADED
+from repro.serve.protocol import Request, Response
+from repro.serve.session import Session
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.storage.database import Database
+
+
+class _WorkItem:
+    __slots__ = ("session", "request", "done", "response", "error")
+
+    def __init__(self, session: Session, request: Request) -> None:
+        self.session = session
+        self.request = request
+        self.done = threading.Event()
+        self.response: Response | None = None
+        self.error: BaseException | None = None
+
+
+class Server:
+    """Multiplexes client sessions over one database."""
+
+    def __init__(
+        self,
+        db: "Database",
+        *,
+        queue_depth: int = 64,
+        workers: int = 4,
+    ) -> None:
+        if queue_depth < 1:
+            raise ServeError(f"queue_depth must be >= 1: {queue_depth}")
+        if workers < 1:
+            raise ServeError(f"workers must be >= 1: {workers}")
+        self.db = db
+        self.threaded = (
+            db.scheduler is not None and db.scheduler.mode == THREADED
+        )
+        self.queue_depth = queue_depth
+        self._sessions: dict[int, Session] = {}
+        self._next_session_id = 1
+        self._guard = threading.Lock()
+        self._closed = False
+        self.requests_admitted = 0
+        self.backpressure_rejections = 0
+        self._queue: "queue.Queue[_WorkItem | None] | None" = None
+        self._workers: list[threading.Thread] = []
+        if self.threaded:
+            self._queue = queue.Queue(maxsize=queue_depth)
+            for i in range(workers):
+                thread = threading.Thread(
+                    target=self._worker_loop, name=f"serve-worker-{i}", daemon=True
+                )
+                thread.start()
+                self._workers.append(thread)
+
+    # ---------------------------------------------------------- sessions
+
+    def open_session(self) -> Session:
+        with self._guard:
+            if self._closed:
+                raise ServeError("server is closed")
+            session = Session(self.db, self._next_session_id)
+            self._next_session_id += 1
+            self._sessions[session.session_id] = session
+            return session
+
+    def close_session(self, session: Session) -> None:
+        session.close()
+        with self._guard:
+            self._sessions.pop(session.session_id, None)
+
+    @property
+    def session_count(self) -> int:
+        with self._guard:
+            return len(self._sessions)
+
+    # ------------------------------------------------------------ submit
+
+    def submit(self, session: Session, request: Request) -> Response:
+        """Execute one request on a session; returns its response.
+
+        Contained failures come back as ``ok=False`` responses.  Only
+        admission failure (:class:`BackpressureError`) and simulated
+        process death raise.
+        """
+        if self._closed:
+            raise ServeError("server is closed")
+        if not self.threaded:
+            self.requests_admitted += 1
+            return session.execute(request)
+        item = _WorkItem(session, request)
+        assert self._queue is not None
+        try:
+            self._queue.put_nowait(item)
+        except queue.Full:
+            with self._guard:
+                self.backpressure_rejections += 1
+            raise BackpressureError(
+                f"admission queue full ({self.queue_depth} requests pending); "
+                "back off and retry"
+            ) from None
+        with self._guard:
+            self.requests_admitted += 1
+        item.done.wait()
+        if item.error is not None:
+            raise item.error
+        assert item.response is not None
+        return item.response
+
+    def _worker_loop(self) -> None:
+        assert self._queue is not None
+        while True:
+            item = self._queue.get()
+            if item is None:
+                self._queue.task_done()
+                return
+            try:
+                item.response = item.session.execute(item.request)
+            except BaseException as exc:  # SimulatedCrash -> submitter
+                item.error = exc
+            finally:
+                item.done.set()
+                self._queue.task_done()
+
+    # ------------------------------------------------------------- close
+
+    def close(self) -> None:
+        """Stop workers and close every session (open txns roll back)."""
+        with self._guard:
+            if self._closed:
+                return
+            self._closed = True
+            sessions = list(self._sessions.values())
+            self._sessions.clear()
+        if self._queue is not None:
+            for _ in self._workers:
+                self._queue.put(None)
+            for thread in self._workers:
+                thread.join(timeout=10)
+            self._workers.clear()
+        for session in sessions:
+            session.close()
+
+    def __enter__(self) -> "Server":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        mode = "threaded" if self.threaded else "deterministic"
+        return (
+            f"Server({mode}, sessions={len(self._sessions)}, "
+            f"admitted={self.requests_admitted})"
+        )

@@ -1,0 +1,166 @@
+"""Per-session transaction context and error containment.
+
+A session owns at most one open transaction at a time and serializes its
+own requests (an internal lock -- a client that shares a session between
+threads gets in-order execution, not interleaving).  Failure of one
+request is contained to the session: any :class:`~repro.errors.ReproError`
+-- a lock conflict from another session's writer, a quarantined-region
+read, a transaction-state violation -- rolls back *this* session's open
+transaction and is reported in the response; the server, the image, and
+every other session keep running.  Only :class:`~repro.errors.SimulatedCrash`
+propagates: an armed crash point means the whole simulated process dies,
+which no session survives.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import TYPE_CHECKING
+
+from repro.errors import ReproError, ServeError, SimulatedCrash
+from repro.serve.protocol import OPS, Request, Response
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.storage.database import Database
+    from repro.txn.transaction import Transaction
+
+
+class Session:
+    """One client's view of the database."""
+
+    def __init__(self, db: "Database", session_id: int) -> None:
+        self.db = db
+        self.session_id = session_id
+        self.txn: "Transaction | None" = None
+        self.closed = False
+        self._serial = threading.Lock()
+        self.requests_served = 0
+        self.errors_contained = 0
+        self.txns_committed = 0
+        self.txns_aborted = 0
+
+    # ----------------------------------------------------------- execute
+
+    def execute(self, request: Request) -> Response:
+        """Run one request; never raises for contained errors."""
+        with self._serial:
+            if self.closed:
+                return self._error(request, ServeError("session is closed"))
+            try:
+                value = self._dispatch(request)
+            except SimulatedCrash:
+                raise
+            except ReproError as exc:
+                self._contain(exc)
+                return self._error(request, exc)
+            self.requests_served += 1
+            return Response(
+                ok=True, op=request.op, request_id=request.request_id, value=value
+            )
+
+    def _dispatch(self, request: Request):
+        op = request.op
+        if op not in OPS:
+            raise ServeError(f"unknown op {op!r}")
+        if op == "begin":
+            if self.txn is not None:
+                raise ServeError(
+                    f"session {self.session_id} already has an open transaction"
+                )
+            self.txn = self.db.begin()
+            return self.txn.txn_id
+        if op == "commit":
+            txn = self._require_txn()
+            self.db.commit(txn)
+            self.txn = None
+            self.txns_committed += 1
+            return txn.txn_id
+        if op == "abort":
+            txn = self._require_txn()
+            self.db.abort(txn)
+            self.txn = None
+            self.txns_aborted += 1
+            return txn.txn_id
+        txn = self._require_txn()
+        table = self.db.table(self._require(request, "table"))
+        if op == "insert":
+            return table.insert(txn, self._require(request, "values"))
+        if op == "read":
+            return table.read(txn, self._require(request, "slot"))
+        if op == "update":
+            slot = self._require(request, "slot")
+            table.update(txn, slot, self._require(request, "values"))
+            return slot
+        if op == "delete":
+            slot = self._require(request, "slot")
+            table.delete(txn, slot)
+            return slot
+        if op == "lookup":
+            return table.lookup(txn, self._require(request, "key"))
+        # query: index lookup + record read, the TPC-B point read.
+        slot = table.lookup(txn, self._require(request, "key"))
+        if slot is None:
+            return None
+        return table.read(txn, slot)
+
+    # ------------------------------------------------------- containment
+
+    def _contain(self, cause: ReproError) -> None:
+        """Roll back this session's open transaction, and only it."""
+        txn = self.txn
+        self.txn = None
+        if txn is None:
+            return
+        try:
+            self.db.abort(txn)
+            self.txns_aborted += 1
+        except ReproError:
+            # The abort itself failed (e.g. the database crashed under
+            # us); drop the transaction reference -- recovery owns it now.
+            pass
+        self.errors_contained += 1
+        del cause  # reported by the caller; nothing more to do with it
+
+    def close(self) -> None:
+        """End the session; an open transaction rolls back."""
+        with self._serial:
+            if self.closed:
+                return
+            self.closed = True
+            txn = self.txn
+            self.txn = None
+            if txn is not None:
+                try:
+                    self.db.abort(txn)
+                    self.txns_aborted += 1
+                except ReproError:
+                    pass
+
+    # ---------------------------------------------------------- helpers
+
+    def _require_txn(self) -> "Transaction":
+        if self.txn is None:
+            raise ServeError(
+                f"session {self.session_id} has no open transaction; "
+                "send 'begin' first"
+            )
+        return self.txn
+
+    def _require(self, request: Request, name: str):
+        value = getattr(request, name)
+        if value is None:
+            raise ServeError(f"op {request.op!r} needs {name!r}")
+        return value
+
+    def _error(self, request: Request, exc: Exception) -> Response:
+        return Response(
+            ok=False,
+            op=request.op,
+            request_id=request.request_id,
+            error=type(exc).__name__,
+            detail=str(exc),
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "closed" if self.closed else ("in-txn" if self.txn else "idle")
+        return f"Session(id={self.session_id}, {state})"

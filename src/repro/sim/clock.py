@@ -16,6 +16,7 @@ decomposed into "N events of kind K at C ns each".
 
 from __future__ import annotations
 
+import threading
 from collections import Counter
 from typing import TYPE_CHECKING
 
@@ -59,21 +60,43 @@ class Meter:
     would corrupt the cost accounting.
     """
 
-    __slots__ = ("clock", "costs", "counts", "time_ns")
+    __slots__ = ("clock", "costs", "counts", "time_ns", "_lock")
 
     def __init__(self, clock: VirtualClock, costs: "CostModel") -> None:
         self.clock = clock
         self.costs = costs
         self.counts: Counter[str] = Counter()
         self.time_ns: Counter[str] = Counter()
+        # ``None`` on the single-threaded fast path; installed by
+        # ``enable_thread_safety`` when concurrent serving sessions share
+        # this meter, so clock advances and counters never lose updates.
+        self._lock: threading.Lock | None = None
+
+    def enable_thread_safety(self) -> None:
+        """Serialize charges (concurrent serving / threaded scheduler).
+
+        Virtual time loses its single-call-stack meaning once real
+        threads interleave, but the counters stay exact and the clock
+        still advances monotonically -- which is what the fault and
+        audit machinery relies on.
+        """
+        if self._lock is None:
+            self._lock = threading.Lock()
 
     def charge(self, event: str, count: int = 1) -> None:
         """Charge ``count`` occurrences of ``event`` to the clock."""
         unit = self.costs.unit_ns(event)
         ns = unit * count
-        self.clock.advance(ns)
-        self.counts[event] += count
-        self.time_ns[event] += ns
+        lock = self._lock
+        if lock is None:
+            self.clock.advance(ns)
+            self.counts[event] += count
+            self.time_ns[event] += ns
+            return
+        with lock:
+            self.clock.advance(ns)
+            self.counts[event] += count
+            self.time_ns[event] += ns
 
     def charge_ns(self, event: str, ns: int, count: int = 1) -> None:
         """Charge an explicit duration under an event label.
@@ -81,9 +104,16 @@ class Meter:
         Used for costs that are not a simple ``unit x count`` product, such
         as a platform-dependent ``mprotect`` call.
         """
-        self.clock.advance(ns)
-        self.counts[event] += count
-        self.time_ns[event] += ns
+        lock = self._lock
+        if lock is None:
+            self.clock.advance(ns)
+            self.counts[event] += count
+            self.time_ns[event] += ns
+            return
+        with lock:
+            self.clock.advance(ns)
+            self.counts[event] += count
+            self.time_ns[event] += ns
 
     def snapshot(self) -> dict[str, tuple[int, int]]:
         """Return ``{event: (count, total_ns)}`` for reporting."""

@@ -41,6 +41,11 @@ from repro.errors import (
 from repro.faults.crashpoints import CrashPointRegistry
 from repro.mem.allocator import SlotAllocator
 from repro.mem.memory import MemoryImage
+from repro.runtime.scheduler import (
+    THREADED,
+    Scheduler,
+    resolve_scheduler_mode,
+)
 from repro.sim.clock import Meter, VirtualClock
 from repro.sim.costs import CostModel, DEFAULT_COSTS
 from repro.storage.btree import BTreeIndex
@@ -123,6 +128,21 @@ class DBConfig:
     #: image + overlapping log records, the Section 4.1/4.2 cache-recovery
     #: machinery -- and then proceeds instead of raising.
     quarantine_repair: bool = False
+    #: Task scheduler mode (see :mod:`repro.runtime.scheduler`).
+    #: ``"auto"`` keeps pre-scheduler behaviour: ``"threaded"`` iff
+    #: ``background_sweeps`` is on, ``"deterministic"`` otherwise.
+    #: Deterministic mode runs every scheduled task inline at its trigger
+    #: point (meter-identical to the historical inline code, property-
+    #: tested); threaded mode backs background folds with worker threads
+    #: and is what the serving front-end (:mod:`repro.serve`) requires.
+    scheduler_mode: str = "auto"
+    #: Optional group-commit deadline: in threaded mode, a ticker flushes
+    #: a non-empty commit window at most this many milliseconds after it
+    #: opened, bounding commit-acknowledgement latency when traffic is too
+    #: light to fill ``group_commit_size``.  ``None`` disables the ticker;
+    #: deterministic mode has no wall clock, so the deadline is inert
+    #: there by design.
+    group_commit_deadline_ms: int | None = None
 
 
 @dataclass
@@ -165,6 +185,22 @@ class Database:
                 "background_sweeps only makes sense with audit_mode="
                 "'incremental' (it offloads the full-sweep escalation)"
             )
+        # Validate eagerly (ConfigError at construction, like every other
+        # knob); the scheduler itself is built per log/manager epoch.
+        # Note background_sweeps under an explicit "deterministic" mode is
+        # legal: the sweep fold defers and runs inline at its join point,
+        # same verdict and same meter charges, no threads.
+        self._scheduler_mode = resolve_scheduler_mode(
+            config.scheduler_mode, config.background_sweeps
+        )
+        if (
+            config.group_commit_deadline_ms is not None
+            and config.group_commit_deadline_ms < 1
+        ):
+            raise ConfigError(
+                "group_commit_deadline_ms must be >= 1 or None: "
+                f"{config.group_commit_deadline_ms}"
+            )
         os.makedirs(config.dir, exist_ok=True)
         self.clock = VirtualClock()
         self.meter = Meter(self.clock, config.costs)
@@ -197,11 +233,13 @@ class Database:
         self.system_log: SystemLog | None = None
         self.manager: TransactionManager | None = None
         self.auditor: Auditor | None = None
+        self.scheduler: Scheduler | None = None
         self.checkpointer = None  # set in start()/recover()
         self.tables: dict[str, Table] = {}
         self._table_defs: list[_TableDef] = []
         self._started = False
         self._crashed = False
+        self._closed = False
         self.history = None
         if config.record_history:
             from repro.recovery.history import HistoryRecorder
@@ -350,6 +388,15 @@ class Database:
     def _open_log_and_manager(self) -> None:
         from repro.recovery.checkpoint import Checkpointer
 
+        deadline_ms = self.config.group_commit_deadline_ms
+        self.scheduler = Scheduler(
+            self._scheduler_mode,
+            tick_interval_s=(deadline_ms / 1000.0) if deadline_ms else 0.01,
+        )
+        if self._scheduler_mode == THREADED:
+            # Worker threads and serving sessions share this meter; the
+            # lock keeps counts exact without touching the cost model.
+            self.meter.enable_thread_safety()
         self.system_log = SystemLog(
             os.path.join(self.config.dir, LOG_FILE),
             self.meter,
@@ -363,6 +410,7 @@ class Database:
             self.meter,
             group_commit_size=self.config.group_commit_size,
             update_batch=self.config.update_batch,
+            scheduler=self.scheduler,
         )
         self.manager.undo_executor = self._dispatch_logical_undo
         if self.quarantine_enabled:
@@ -373,8 +421,31 @@ class Database:
             audit_mode=self.config.audit_mode,
             full_sweep_every=self.config.full_sweep_every,
             background=self.config.background_sweeps,
+            scheduler=self.scheduler,
         )
         self.checkpointer = Checkpointer(self)
+        # The one drain order for shutdown/crash (paired with the log
+        # close/crash in :meth:`close` / :meth:`crash`): make held-back
+        # commits durable (clean shutdown only -- a crash loses the
+        # window, restart recovery rolls those commits back), then settle
+        # any in-flight sweep fold.
+        self.scheduler.add_drain_step(
+            "group_commit.flush", on_close=self.manager.flush_commits
+        )
+        self.scheduler.add_drain_step(
+            "audit.sweeps",
+            on_close=self.auditor.abandon_background_sweep,
+            on_crash=self.auditor.abandon_background_sweep,
+        )
+        self.scheduler.register_tick(
+            "audit.certify_join", ("checkpoint",), self.auditor.checkpoint_tick
+        )
+        if deadline_ms is not None:
+            self.scheduler.register_tick(
+                "group_commit.deadline",
+                ("interval",),
+                lambda _event: self.manager.flush_commits(),
+            )
 
     def _format_structures(self) -> None:
         txn = self.manager.begin()
@@ -559,13 +630,24 @@ class Database:
         return self.system_log.truncate_before(cutoff)
 
     def crash(self) -> None:
-        """Simulate a process crash: volatile state is gone."""
-        if self.auditor is not None:
+        """Simulate a process crash: volatile state is gone.
+
+        The scheduler drains on its crash path (the group-commit window
+        is *lost*, not flushed; in-flight sweep folds are settled and
+        discarded), then the log tail is dropped and volatile transaction
+        state cleared.  Idempotent.
+        """
+        if self._crashed:
+            return
+        if self.scheduler is not None:
+            self.scheduler.shutdown(crash=True)
+        elif self.auditor is not None:  # pragma: no cover - pre-start crash
             self.auditor.abandon_background_sweep()
         if self.system_log is not None:
             self.system_log.crash()
         self.locks.clear()
-        self.manager.att.clear()
+        if self.manager is not None:
+            self.manager.att.clear()
         self._crashed = True
 
     def crash_with_corruption(self, report: AuditReport) -> None:
@@ -591,13 +673,23 @@ class Database:
         self.crash()
 
     def close(self) -> None:
-        if self.auditor is not None:
+        """Clean shutdown with one fixed drain order; idempotent.
+
+        The scheduler's close drain runs its registered steps in order --
+        flush the group-commit window (held-back commits become durable),
+        then settle any in-flight sweep fold -- and only then does the
+        log close.  A second ``close()``, or a ``close()`` after
+        ``crash()``, is a no-op.
+        """
+        if self._closed:
+            return
+        self._closed = True
+        if self._crashed:
+            return
+        if self.scheduler is not None:
+            self.scheduler.shutdown(crash=False)
+        elif self.auditor is not None:  # pragma: no cover - pre-start close
             self.auditor.abandon_background_sweep()
-        if self.manager is not None and not self._crashed:
-            # Commits a group-commit window is still holding become
-            # durable on a clean shutdown (no-op under the default
-            # flush-per-commit config).
-            self.manager.flush_commits()
         if self.system_log is not None:
             self.system_log.close()
         self._crashed = True

@@ -9,13 +9,24 @@ durations, following multi-level recovery (Section 2.1):
   commits, after its redo records have moved to the system log and its
   undo has been replaced by a logical undo record.
 
-The benchmark runs one transaction at a time (as in the paper), so a
-conflicting request indicates a bug or a deliberately concurrent test; the
-manager raises :class:`~repro.errors.LockError` rather than blocking.
+The manager is non-blocking: a conflicting request raises
+:class:`~repro.errors.LockError` immediately instead of waiting.  The
+paper's benchmark runs one transaction at a time, where a conflict
+indicates a bug; the serving front-end (:mod:`repro.serve`) turns the
+same fail-fast conflict into a per-session abort-and-retry.
+
+Release is O(locks held by the transaction), not O(lock table): a
+reverse index maps each transaction to the keys it holds, so
+``release_all``/``release_operation`` never scan keys owned by other
+sessions (the before/after numbers are in ``BENCH_txn.json`` under
+``lock_release``).  All public methods take an internal mutex --
+concurrent serving sessions share one lock table, and check-then-act
+sequences like conflict detection must be atomic against them.
 """
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass
 from enum import Enum
 
@@ -44,6 +55,12 @@ class LockManager:
 
     def __init__(self) -> None:
         self._table: dict[str, list[_Grant]] = {}
+        #: Reverse index: txn_id -> keys it holds at least one grant on.
+        #: Invariant: ``key in self._txn_keys[t]`` iff ``self._table[key]``
+        #: contains a grant with ``txn_id == t`` (there is at most one
+        #: such grant per (txn, key); re-acquisition nests its depth).
+        self._txn_keys: dict[int, set[str]] = {}
+        self._mutex = threading.RLock()
         self.acquire_count = 0
 
     def acquire(
@@ -56,66 +73,96 @@ class LockManager:
     ) -> None:
         if duration not in ("txn", "op"):
             raise LockError(f"bad lock duration {duration!r}")
-        grants = self._table.setdefault(key, [])
-        mine = next((g for g in grants if g.txn_id == txn_id), None)
-        for grant in grants:
-            if grant.txn_id == txn_id:
-                continue
-            if not mode.compatible_with(grant.mode):
-                raise LockError(
-                    f"transaction {txn_id} requests {mode.value} on {key!r} "
-                    f"held {grant.mode.value} by transaction {grant.txn_id}"
-                )
-        self.acquire_count += 1
-        if mine is not None:
-            mine.depth += 1
-            if mode is LockMode.EXCLUSIVE:
-                mine.mode = LockMode.EXCLUSIVE  # upgrade
-            if duration == "txn":
-                mine.duration = "txn"  # op lock escalates to txn duration
-            return
-        grants.append(_Grant(txn_id, mode, duration, op_id))
+        with self._mutex:
+            grants = self._table.setdefault(key, [])
+            mine = None
+            for grant in grants:
+                if grant.txn_id == txn_id:
+                    mine = grant
+                    continue
+                if not mode.compatible_with(grant.mode):
+                    raise LockError(
+                        f"transaction {txn_id} requests {mode.value} on {key!r} "
+                        f"held {grant.mode.value} by transaction {grant.txn_id}"
+                    )
+            self.acquire_count += 1
+            if mine is not None:
+                mine.depth += 1
+                if mode is LockMode.EXCLUSIVE:
+                    mine.mode = LockMode.EXCLUSIVE  # upgrade
+                if duration == "txn":
+                    mine.duration = "txn"  # op lock escalates to txn duration
+                return
+            grants.append(_Grant(txn_id, mode, duration, op_id))
+            self._txn_keys.setdefault(txn_id, set()).add(key)
 
     def holds(self, txn_id: int, key: str, mode: LockMode | None = None) -> bool:
-        for grant in self._table.get(key, ()):
-            if grant.txn_id != txn_id:
-                continue
-            if mode is None or grant.mode is mode or grant.mode is LockMode.EXCLUSIVE:
-                return True
-        return False
+        with self._mutex:
+            for grant in self._table.get(key, ()):
+                if grant.txn_id != txn_id:
+                    continue
+                if (
+                    mode is None
+                    or grant.mode is mode
+                    or grant.mode is LockMode.EXCLUSIVE
+                ):
+                    return True
+            return False
 
     def would_conflict(self, txn_id: int, key: str, mode: LockMode) -> bool:
         """Check without acquiring (used by corruption-recovery conflict tests)."""
-        for grant in self._table.get(key, ()):
-            if grant.txn_id != txn_id and not mode.compatible_with(grant.mode):
-                return True
-        return False
+        with self._mutex:
+            for grant in self._table.get(key, ()):
+                if grant.txn_id != txn_id and not mode.compatible_with(grant.mode):
+                    return True
+            return False
 
     def release_operation(self, txn_id: int, op_id: int) -> None:
-        """Release the op-duration locks of one committed operation."""
-        for key in list(self._table):
-            grants = self._table[key]
-            grants[:] = [
-                g
-                for g in grants
-                if not (g.txn_id == txn_id and g.duration == "op" and g.op_id == op_id)
-            ]
-            if not grants:
-                del self._table[key]
+        """Release the op-duration locks of one committed operation.
+
+        Scans only the keys this transaction holds (reverse index), not
+        the whole table -- under concurrent sessions the table holds
+        every session's grants, and an O(table) scan per operation
+        commit would make operation cost grow with the session count.
+        """
+        with self._mutex:
+            keys = self._txn_keys.get(txn_id)
+            if not keys:
+                return
+            for key in list(keys):
+                grants = self._table[key]
+                for i, grant in enumerate(grants):
+                    if grant.txn_id != txn_id:
+                        continue
+                    if grant.duration == "op" and grant.op_id == op_id:
+                        del grants[i]
+                        keys.discard(key)
+                        if not grants:
+                            del self._table[key]
+                    break
+            if not keys:
+                del self._txn_keys[txn_id]
 
     def release_all(self, txn_id: int) -> None:
-        for key in list(self._table):
-            grants = self._table[key]
-            grants[:] = [g for g in grants if g.txn_id != txn_id]
-            if not grants:
-                del self._table[key]
+        """Release every lock of a finished transaction: O(locks held)."""
+        with self._mutex:
+            keys = self._txn_keys.pop(txn_id, None)
+            if not keys:
+                return
+            for key in keys:
+                grants = self._table[key]
+                for i, grant in enumerate(grants):
+                    if grant.txn_id == txn_id:
+                        del grants[i]
+                        break
+                if not grants:
+                    del self._table[key]
 
     def locks_held(self, txn_id: int) -> list[str]:
-        return [
-            key
-            for key, grants in self._table.items()
-            if any(g.txn_id == txn_id for g in grants)
-        ]
+        with self._mutex:
+            return sorted(self._txn_keys.get(txn_id, ()))
 
     def clear(self) -> None:
-        self._table.clear()
+        with self._mutex:
+            self._table.clear()
+            self._txn_keys.clear()

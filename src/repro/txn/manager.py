@@ -22,6 +22,7 @@ logical undo record -- both before its operation-duration locks release.
 
 from __future__ import annotations
 
+import threading
 from typing import TYPE_CHECKING, Callable
 
 from repro.errors import TransactionError
@@ -50,6 +51,7 @@ from repro.wal.system_log import SystemLog
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.core.schemes import ProtectionScheme
+    from repro.runtime.scheduler import Scheduler
 
 
 class TransactionManager:
@@ -64,6 +66,7 @@ class TransactionManager:
         meter: Meter,
         group_commit_size: int = 1,
         update_batch: int = 1,
+        scheduler: "Scheduler | None" = None,
     ) -> None:
         self.memory = memory
         self.system_log = system_log
@@ -85,6 +88,23 @@ class TransactionManager:
         #: recovery rolls them back, exactly like commits torn mid-flush.
         self.group_commit_size = max(1, int(group_commit_size))
         self._commits_since_flush = 0
+        #: Guards the group-commit window counter.  The flush itself is
+        #: serialized by the system log latch; this mutex only keeps the
+        #: counter exact when serving sessions commit concurrently.
+        self._gc_lock = threading.Lock()
+        #: Guards txn/op/seq id assignment and the commit/abort tallies.
+        self._id_lock = threading.Lock()
+        #: When a scheduler is installed, the group-commit size trigger is
+        #: a tick task fired from :meth:`commit` -- the same program point
+        #: where the pre-scheduler code flushed inline, so deterministic
+        #: mode is meter-identical to the ``scheduler=None`` fallback
+        #: (which keeps the historical inline flush for exactly that
+        #: property test).
+        self.scheduler = scheduler
+        if scheduler is not None:
+            scheduler.register_tick(
+                "group_commit.flush", ("commit",), self._on_commit_tick
+            )
         self.att = ActiveTransactionTable()
         # The storage layer installs an executor that interprets logical
         # undo descriptions by running the inverse operation through the
@@ -105,8 +125,10 @@ class TransactionManager:
     def begin(self, is_recovery: bool = False) -> Transaction:
         """Start a transaction.  ``is_recovery`` marks compensation
         transactions spawned by restart recovery (see TxnBeginRecord)."""
-        txn = Transaction(self._next_txn_id)
-        self._next_txn_id += 1
+        with self._id_lock:
+            txn_id = self._next_txn_id
+            self._next_txn_id += 1
+        txn = Transaction(txn_id)
         self.att.add(txn)
         self.system_log.append(TxnBeginRecord(txn.txn_id, is_recovery))
         self.meter.charge("txn_begin")
@@ -127,15 +149,22 @@ class TransactionManager:
         # local redo log; migrate them so the audit trail is complete.
         self.system_log.extend(txn.redo_log.take_from(0), charge=False)
         self.system_log.append(TxnCommitRecord(txn.txn_id))
-        self._commits_since_flush += 1
-        if self._commits_since_flush >= self.group_commit_size:
+        with self._gc_lock:
+            self._commits_since_flush += 1
+        if self.scheduler is not None:
+            self.scheduler.tick("commit")
+        elif self._commits_since_flush >= self.group_commit_size:
+            # Scheduler-less fallback: the historical inline flush.  This
+            # path is the meter-identity reference the scheduler property
+            # tests compare against.
             self.system_log.flush()
             self._commits_since_flush = 0
         self.meter.charge("txn_commit")
         txn.status = TxnStatus.COMMITTED
         self._release_txn_locks(txn)
         self.att.remove(txn.txn_id)
-        self.committed_count += 1
+        with self._id_lock:
+            self.committed_count += 1
 
     def abort(self, txn: Transaction) -> None:
         """Roll the transaction back completely (normal processing path)."""
@@ -160,11 +189,13 @@ class TransactionManager:
         # An abort always flushes (its compensations must be stable), and
         # the flush covers any commits a group-commit window was holding.
         self.system_log.flush()
-        self._commits_since_flush = 0
+        with self._gc_lock:
+            self._commits_since_flush = 0
         txn.status = TxnStatus.ABORTED
         self._release_txn_locks(txn)
         self.att.remove(txn.txn_id)
-        self.aborted_count += 1
+        with self._id_lock:
+            self.aborted_count += 1
 
     def flush_commits(self) -> None:
         """Make commits held back by a group-commit window durable.
@@ -173,9 +204,23 @@ class TransactionManager:
         default flush-per-commit configuration never reaches the meter
         through here.
         """
-        if self._commits_since_flush:
-            self.system_log.flush()
-            self._commits_since_flush = 0
+        with self._gc_lock:
+            if self._commits_since_flush:
+                self.system_log.flush()
+                self._commits_since_flush = 0
+
+    def _on_commit_tick(self, _event: str) -> None:
+        """Tick task ``group_commit.flush`` -- the size trigger.
+
+        Flushes once the window holds ``group_commit_size`` commits.
+        Fired from :meth:`commit` right where the pre-scheduler code
+        flushed inline; also safe to fire from an ``"interval"`` deadline
+        tick, since a short window simply stays open.
+        """
+        with self._gc_lock:
+            if self._commits_since_flush >= self.group_commit_size:
+                self.system_log.flush()
+                self._commits_since_flush = 0
 
     def _release_txn_locks(self, txn: Transaction) -> None:
         for _key in self.locks.locks_held(txn.txn_id):
@@ -191,14 +236,16 @@ class TransactionManager:
         # the right operation scope.
         if txn.pending_update is not None and txn.pending_update.coalescing:
             self.end_update(txn)
+        with self._id_lock:
+            op_id = self._next_op_id
+            self._next_op_id += 1
         op = Operation(
-            op_id=self._next_op_id,
+            op_id=op_id,
             level=txn.depth + 1,
             object_key=object_key,
             redo_mark=txn.redo_log.mark(),
             undo_mark=len(txn.undo_log.entries),
         )
-        self._next_op_id += 1
         txn.op_stack.append(op)
         self.meter.charge("op_begin")
         return op
@@ -574,6 +621,7 @@ class TransactionManager:
         return txn.pending_update
 
     def _take_seq(self) -> int:
-        seq = self._next_seq
-        self._next_seq += 1
-        return seq
+        with self._id_lock:
+            seq = self._next_seq
+            self._next_seq += 1
+            return seq

@@ -21,6 +21,7 @@ time instead of an O(file) scan per call.
 from __future__ import annotations
 
 import os
+import threading
 from typing import Iterator
 
 from repro.errors import LogError
@@ -54,6 +55,12 @@ class SystemLog:
         # conditional instrumentation.
         self.crashpoints = crashpoints if crashpoints is not None else CrashPointRegistry()
         self.latch = Latch("system_log")
+        # Guards LSN assignment and the in-memory tail so concurrent
+        # serving sessions can append while a flush snapshots the tail.
+        # Uncontended acquisition is a cheap C-level operation, and the
+        # meter never sees it -- the paper's cost model charges the
+        # *system log latch* (held across flushes), not this mutex.
+        self._tail_lock = threading.Lock()
         self.tail: list[tuple[int, LogRecord]] = []
         self.next_lsn = 0
         self.end_of_stable_lsn = 0  # records with lsn < this are on disk
@@ -79,9 +86,10 @@ class SystemLog:
         first appended there; callers pass ``charge=False`` for those so
         the move itself costs nothing extra (it is a pointer move in Dali).
         """
-        lsn = self.next_lsn
-        self.next_lsn += 1
-        self.tail.append((lsn, record))
+        with self._tail_lock:
+            lsn = self.next_lsn
+            self.next_lsn += 1
+            self.tail.append((lsn, record))
         if charge:
             self.meter.charge("log_record")
             self.meter.charge("log_byte", record.approx_size())
@@ -96,13 +104,14 @@ class SystemLog:
         per-record sequence in both event counts and virtual nanoseconds.
         """
         records = list(records)
-        first = self.next_lsn
-        lsn = first
-        tail_append = self.tail.append
-        for record in records:
-            tail_append((lsn, record))
-            lsn += 1
-        self.next_lsn = lsn
+        with self._tail_lock:
+            first = self.next_lsn
+            lsn = first
+            tail_append = self.tail.append
+            for record in records:
+                tail_append((lsn, record))
+                lsn += 1
+            self.next_lsn = lsn
         if charge and records:
             self.meter.charge("log_record", len(records))
             self.meter.charge(
@@ -119,13 +128,18 @@ class SystemLog:
         """
         with self.latch.exclusive():
             self.meter.charge("latch_pair")
-            if not self.tail:
-                return self.end_of_stable_lsn
+            with self._tail_lock:
+                if not self.tail:
+                    return self.end_of_stable_lsn
+                # Detach the tail under the mutex: records appended by
+                # other sessions from here on ride the *next* flush.
+                pending = self.tail
+                self.tail = []
             self.crashpoints.reach("wal.flush.pre")
             self.meter.charge("flush_fixed")
             buf = bytearray()
             pack_lsn = _LSN_HEADER.pack
-            for lsn, record in self.tail:
+            for lsn, record in pending:
                 buf += pack_lsn(lsn)
                 encode_into(record, buf)
             armed = self.crashpoints.reach("wal.flush.mid", defer=True)
@@ -148,9 +162,8 @@ class SystemLog:
             self.crashpoints.reach("wal.flush.post")
             self.meter.charge("flush_byte", len(buf))
             if self._stable_count is not None:
-                self._stable_count += len(self.tail)
-            self.end_of_stable_lsn = self.tail[-1][0] + 1
-            self.tail.clear()
+                self._stable_count += len(pending)
+            self.end_of_stable_lsn = pending[-1][0] + 1
             return self.end_of_stable_lsn
 
     def close(self) -> None:

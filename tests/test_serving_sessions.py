@@ -1,0 +1,314 @@
+"""Session semantics over one image (``repro.serve``).
+
+Every test in ``TestSessionSemantics`` runs in BOTH scheduler modes:
+deterministic (requests execute inline on the submitting thread) and
+threaded (worker pool behind a bounded admission queue).  The protocol,
+per-session transactions and error containment must be mode-invariant.
+"""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro import Database, DBConfig
+from repro.errors import BackpressureError, ServeError
+from repro.faults.injector import FaultInjector
+from repro.serve import Request, Server
+
+from tests.conftest import ACCT_SCHEMA, insert_accounts
+
+MODES = ("deterministic", "threaded")
+
+
+def make_db(base, name, **config_kwargs) -> Database:
+    config_kwargs.setdefault("scheme", "baseline")
+    config = DBConfig(dir=str(base / name), **config_kwargs)
+    db = Database(config)
+    db.create_table("acct", ACCT_SCHEMA, 256, key_field="id")
+    db.start()
+    return db
+
+
+@pytest.fixture(params=MODES)
+def served(request, tmp_path):
+    db = make_db(tmp_path, f"served-{request.param}", scheduler_mode=request.param)
+    insert_accounts(db, 8)
+    server = Server(db, queue_depth=32, workers=4)
+    yield db, server
+    server.close()
+    db.close()
+
+
+def ok(server, session, **kwargs):
+    response = server.submit(session, Request(**kwargs))
+    assert response.ok, f"{response.op}: {response.error}: {response.detail}"
+    return response.value
+
+
+class TestSessionSemantics:
+    def test_protocol_round_trip(self, served):
+        db, server = served
+        session = server.open_session()
+        txn_id = ok(server, session, op="begin")
+        assert isinstance(txn_id, int)
+        slot = ok(
+            server,
+            session,
+            op="insert",
+            table="acct",
+            values={"id": 99, "balance": 500, "name": "new"},
+        )
+        assert ok(server, session, op="lookup", table="acct", key=99) == slot
+        row = ok(server, session, op="query", table="acct", key=99)
+        assert row["balance"] == 500
+        ok(server, session, op="update", table="acct", slot=slot, values={"balance": 501})
+        assert ok(server, session, op="read", table="acct", slot=slot)["balance"] == 501
+        ok(server, session, op="commit")
+        assert session.txn is None
+        server.close_session(session)
+
+    def test_conflicting_updates_serialize_via_locks(self, served):
+        db, server = served
+        a = server.open_session()
+        b = server.open_session()
+        ok(server, a, op="begin")
+        ok(server, b, op="begin")
+        ok(server, a, op="update", table="acct", slot=0, values={"balance": 111})
+        # B hits A's txn-duration exclusive lock: fails alone, contained.
+        denied = server.submit(
+            b, Request(op="update", table="acct", slot=0, values={"balance": 222})
+        )
+        assert not denied.ok
+        assert denied.error == "LockError"
+        assert b.txn is None  # B's transaction rolled back
+        assert a.txn is not None  # A is untouched
+        ok(server, a, op="commit")
+        # B retries after A's locks released and wins.
+        ok(server, b, op="begin")
+        ok(server, b, op="update", table="acct", slot=0, values={"balance": 222})
+        ok(server, b, op="commit")
+        check = server.open_session()
+        ok(server, check, op="begin")
+        assert ok(server, check, op="read", table="acct", slot=0)["balance"] == 222
+        ok(server, check, op="commit")
+
+    def test_session_abort_rolls_back_only_its_own_ops(self, served):
+        db, server = served
+        a = server.open_session()
+        b = server.open_session()
+        ok(server, a, op="begin")
+        ok(server, b, op="begin")
+        ok(server, a, op="update", table="acct", slot=0, values={"balance": 1000})
+        ok(server, b, op="update", table="acct", slot=1, values={"balance": 2000})
+        ok(server, a, op="abort")
+        ok(server, b, op="commit")
+        check = server.open_session()
+        ok(server, check, op="begin")
+        assert ok(server, check, op="read", table="acct", slot=0)["balance"] == 100
+        assert ok(server, check, op="read", table="acct", slot=1)["balance"] == 2000
+        ok(server, check, op="commit")
+
+    def test_protocol_misuse_is_contained(self, served):
+        db, server = served
+        session = server.open_session()
+        no_txn = server.submit(session, Request(op="commit"))
+        assert not no_txn.ok and no_txn.error == "ServeError"
+        unknown = server.submit(session, Request(op="frobnicate"))
+        assert not unknown.ok and unknown.error == "ServeError"
+        double = server.submit(session, Request(op="begin"))
+        assert double.ok
+        double2 = server.submit(session, Request(op="begin"))
+        assert not double2.ok and double2.error == "ServeError"
+        # The contained double-begin rolled the open transaction back;
+        # the session keeps working.
+        ok(server, session, op="begin")
+        ok(server, session, op="commit")
+
+    def test_closed_session_refuses_requests(self, served):
+        db, server = served
+        session = server.open_session()
+        ok(server, session, op="begin")
+        server.close_session(session)
+        assert session.txn is None  # open transaction rolled back
+        refused = server.submit(session, Request(op="begin"))
+        assert not refused.ok and refused.error == "ServeError"
+
+
+class TestQuarantineContainment:
+    @pytest.mark.parametrize("mode", MODES)
+    def test_quarantined_read_fails_one_session_only(self, mode, tmp_path):
+        db = make_db(
+            tmp_path,
+            f"quarantine-{mode}",
+            scheme="data_codeword",
+            scheme_params={"region_size": 64},
+            quarantine=True,
+            scheduler_mode=mode,
+        )
+        slots = insert_accounts(db, 8)
+        # Wild-write slot 0's record, then audit: the region quarantines
+        # instead of crashing the system.
+        address = db.table("acct").record_address(slots[0])
+        FaultInjector(db, seed=7).wild_write(address, 8)
+        report = db.audit()
+        assert not report.clean
+        assert db.quarantined_regions()
+        server = Server(db, queue_depth=16, workers=2)
+        poisoned = server.open_session()
+        healthy = server.open_session()
+        ok(server, poisoned, op="begin")
+        ok(server, healthy, op="begin")
+        denied = server.submit(poisoned, Request(op="read", table="acct", slot=slots[0]))
+        assert not denied.ok
+        assert denied.error == "QuarantinedRegionError"
+        assert poisoned.txn is None  # contained: only this session aborted
+        # The healthy session reads a different region and commits.
+        assert ok(server, healthy, op="read", table="acct", slot=slots[7])["balance"] == 100
+        ok(server, healthy, op="commit")
+        server.close()
+        db.close()
+
+
+class TestThreadedServing:
+    def test_backpressure_sheds_load_at_admission(self, tmp_path):
+        db = make_db(tmp_path, "bp", scheduler_mode="threaded")
+        insert_accounts(db, 4)
+        server = Server(db, queue_depth=1, workers=1)
+        blocked = server.open_session()
+        other = server.open_session()
+        # Jam the single worker: hold the session's serial lock so its
+        # request parks inside execute(), then fill the depth-1 queue.
+        blocked._serial.acquire()
+        try:
+            t1 = threading.Thread(
+                target=server.submit, args=(blocked, Request(op="begin"))
+            )
+            t1.start()
+            # Wait until the worker has dequeued t1's item and is parked.
+            deadline = [server._queue.unfinished_tasks]
+            for _ in range(1000):
+                if server._queue.qsize() == 0 and deadline[0] >= 1:
+                    break
+                threading.Event().wait(0.005)
+            t2 = threading.Thread(
+                target=server.submit, args=(other, Request(op="begin"))
+            )
+            t2.start()
+            for _ in range(1000):
+                if server._queue.qsize() == 1:
+                    break
+                threading.Event().wait(0.005)
+            with pytest.raises(BackpressureError):
+                server.submit(other, Request(op="begin"))
+            assert server.backpressure_rejections == 1
+        finally:
+            blocked._serial.release()
+        t1.join(timeout=10)
+        t2.join(timeout=10)
+        server.close()
+        db.close()
+
+    def test_concurrent_sessions_commit_disjoint_updates(self, tmp_path):
+        db = make_db(tmp_path, "fanout", scheme="data_codeword", scheduler_mode="threaded")
+        slots = insert_accounts(db, 16)
+        server = Server(db, queue_depth=64, workers=8)
+        errors: list[str] = []
+        n_clients, n_txns = 8, 10
+
+        def client(client_id: int) -> None:
+            session = server.open_session()
+            slot = slots[client_id]
+            for i in range(n_txns):
+                for request in (
+                    Request(op="begin"),
+                    Request(
+                        op="update",
+                        table="acct",
+                        slot=slot,
+                        values={"balance": 1000 * client_id + i},
+                    ),
+                    Request(op="commit"),
+                ):
+                    response = server.submit(session, request)
+                    if not response.ok:
+                        errors.append(f"{client_id}/{i}: {response.error}")
+                        return
+            server.close_session(session)
+
+        threads = [threading.Thread(target=client, args=(c,)) for c in range(n_clients)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(timeout=60)
+        assert errors == []
+        server.close()
+        # Every session's last write is in place and the image is clean.
+        check = db.begin()
+        for client_id in range(n_clients):
+            row = db.table("acct").read(check, slots[client_id])
+            assert row["balance"] == 1000 * client_id + (n_txns - 1)
+        db.commit(check)
+        assert db.audit().clean
+        db.close()
+
+    def test_readers_race_writer_without_corruption_reports(self, tmp_path):
+        db = make_db(
+            tmp_path,
+            "race",
+            scheme="precheck",
+            scheme_params={"region_size": 64},
+            scheduler_mode="threaded",
+        )
+        slots = insert_accounts(db, 4)
+        server = Server(db, queue_depth=64, workers=6)
+        outcomes: list[str] = []
+        stop = threading.Event()
+
+        def writer() -> None:
+            session = server.open_session()
+            i = 0
+            while not stop.is_set():
+                server.submit(session, Request(op="begin"))
+                response = server.submit(
+                    session,
+                    Request(op="update", table="acct", slot=slots[i % 4],
+                            values={"balance": 100 + i}),
+                )
+                if response.ok:
+                    server.submit(session, Request(op="commit"))
+                i += 1
+            if session.txn is not None:
+                server.submit(session, Request(op="abort"))
+
+        def reader(reader_id: int) -> None:
+            session = server.open_session()
+            for i in range(50):
+                server.submit(session, Request(op="begin"))
+                response = server.submit(
+                    session, Request(op="read", table="acct", slot=slots[i % 4])
+                )
+                if response.ok:
+                    outcomes.append("ok")
+                    server.submit(session, Request(op="commit"))
+                else:
+                    # The only legitimate failure is a lock conflict with
+                    # the writer; a precheck mismatch would surface as
+                    # CorruptionDetected and fail this test.
+                    outcomes.append(response.error)
+
+        writer_thread = threading.Thread(target=writer)
+        reader_threads = [threading.Thread(target=reader, args=(r,)) for r in range(3)]
+        writer_thread.start()
+        for t in reader_threads:
+            t.start()
+        for t in reader_threads:
+            t.join(timeout=60)
+        stop.set()
+        writer_thread.join(timeout=60)
+        server.close()
+        assert set(outcomes) <= {"ok", "LockError"}
+        assert "ok" in outcomes
+        assert db.scheme.precheck_count > 0
+        db.close()

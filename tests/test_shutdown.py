@@ -1,0 +1,126 @@
+"""Deterministic shutdown (``Database.close``/``Database.crash``).
+
+Both lifecycle exits route through the scheduler so there is exactly one
+drain order: flush the group-commit window (close only -- crash *loses*
+it), then settle any in-flight sweep fold.  ``close()`` is idempotent,
+and a ``close()`` after ``crash()`` is a no-op that must not resurrect
+the lost window.
+"""
+
+from __future__ import annotations
+
+from repro import Database, DBConfig
+
+from tests.conftest import ACCT_SCHEMA, insert_accounts
+
+
+def make_db(tmp_path, name, **config_kwargs) -> Database:
+    config_kwargs.setdefault("scheme", "baseline")
+    config = DBConfig(dir=str(tmp_path / name), **config_kwargs)
+    db = Database(config)
+    db.create_table("acct", ACCT_SCHEMA, 64, key_field="id")
+    db.start()
+    return db
+
+
+def drain_runs(db: Database) -> dict[str, int]:
+    return {i.name: i.runs for i in db.scheduler.tasks() if i.kind == "drain"}
+
+
+class TestCloseDrain:
+    def test_close_flushes_the_group_commit_window(self, tmp_path):
+        """Commits held back by an unfilled window become durable on
+        close: recovery replays them instead of rolling them back."""
+        db = make_db(tmp_path, "flush", group_commit_size=8)
+        slots = insert_accounts(db, 3)
+        txn = db.begin()
+        db.table("acct").update(txn, slots[1], {"balance": 777})
+        db.commit(txn)
+        assert db.system_log.tail  # window not full: commit held back
+        db.close()
+        recovered, _report = Database.recover(DBConfig(dir=db.config.dir, scheme="baseline"))
+        check = recovered.begin()
+        assert recovered.table("acct").read(check, slots[1])["balance"] == 777
+        recovered.commit(check)
+        recovered.close()
+
+    def test_drain_steps_run_once_in_fixed_order(self, tmp_path):
+        db = make_db(tmp_path, "order", group_commit_size=8)
+        insert_accounts(db, 2)
+        assert drain_runs(db) == {"group_commit.flush": 0, "audit.sweeps": 0}
+        scheduler = db.scheduler
+        db.close()
+        assert drain_runs(db) == {"group_commit.flush": 1, "audit.sweeps": 1}
+        # The drain is safe to repeat and always yields the same order:
+        # window flush strictly before sweep settlement.
+        assert scheduler.drain() == ["group_commit.flush", "audit.sweeps"]
+
+    def test_double_close_is_idempotent(self, tmp_path):
+        db = make_db(tmp_path, "twice", group_commit_size=8)
+        insert_accounts(db, 2)
+        db.close()
+        runs_after_first = drain_runs(db)
+        db.close()  # no error, no second drain
+        assert drain_runs(db) == runs_after_first
+        assert runs_after_first["group_commit.flush"] == 1
+
+
+class TestCrashDrain:
+    def test_crash_loses_the_window_instead_of_flushing(self, tmp_path):
+        db = make_db(tmp_path, "lost", group_commit_size=8)
+        slots = insert_accounts(db, 3)
+        db.manager.flush_commits()
+        txn = db.begin()
+        db.table("acct").update(txn, slots[1], {"balance": 777})
+        db.commit(txn)
+        assert db.system_log.tail  # commit record still volatile
+        db.crash()
+        # Crash drain must not run the close-only flush step.
+        assert drain_runs(db)["group_commit.flush"] == 0
+        assert drain_runs(db)["audit.sweeps"] == 1
+        recovered, _report = Database.recover(DBConfig(dir=db.config.dir, scheme="baseline"))
+        check = recovered.begin()
+        assert recovered.table("acct").read(check, slots[1])["balance"] == 100
+        recovered.commit(check)
+        recovered.close()
+
+    def test_crash_settles_an_inflight_background_sweep(self, tmp_path):
+        db = make_db(
+            tmp_path,
+            "sweep",
+            scheme="data_codeword",
+            audit_mode="incremental",
+            full_sweep_every=2,
+            background_sweeps=True,
+        )
+        insert_accounts(db, 4)
+        for _ in range(2):
+            db.audit()  # cadence launches a background sweep
+        assert db.auditor._sweep is not None
+        db.crash()
+        assert db.scheduler.live_background == ()
+        assert db.auditor._sweep is None or db.auditor._sweep.done
+
+    def test_close_after_crash_is_a_noop(self, tmp_path):
+        db = make_db(tmp_path, "postcrash", group_commit_size=8)
+        slots = insert_accounts(db, 2)
+        db.manager.flush_commits()
+        txn = db.begin()
+        db.table("acct").update(txn, slots[0], {"balance": 999})
+        db.commit(txn)
+        db.crash()
+        db.close()  # must not flush the lost window
+        assert drain_runs(db)["group_commit.flush"] == 0
+        recovered, _report = Database.recover(DBConfig(dir=db.config.dir, scheme="baseline"))
+        check = recovered.begin()
+        assert recovered.table("acct").read(check, slots[0])["balance"] == 100
+        recovered.commit(check)
+        recovered.close()
+
+    def test_double_crash_is_idempotent(self, tmp_path):
+        db = make_db(tmp_path, "crash2")
+        insert_accounts(db, 2)
+        db.crash()
+        runs = drain_runs(db)
+        db.crash()
+        assert drain_runs(db) == runs
