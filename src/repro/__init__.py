@@ -17,18 +17,22 @@ Public entry points::
 """
 
 from repro.errors import (
+    ArchiveError,
     AuditFailure,
     CheckpointError,
     ConfigError,
     CorruptionDetected,
+    DivergenceDetected,
     LatchError,
     LockError,
     LogError,
     MemoryError_,
     OutOfSpaceError,
+    PromotionError,
     ProtectionFault,
     QuarantinedRegionError,
     RecoveryError,
+    ReplicationError,
     ReproError,
     SimulatedCrash,
     TransactionAborted,
@@ -40,6 +44,12 @@ from repro.faults import (
     CrashPointRegistry,
     FaultInjector,
     tear_log_tail,
+)
+from repro.replication import (
+    DivergenceDetector,
+    LogShipper,
+    Replica,
+    ShipTransport,
 )
 from repro.storage import Database, DBConfig, Field, FieldType, Schema, Table
 from repro.core import SCHEME_NAMES, make_scheme
@@ -63,6 +73,11 @@ __all__ = [
     "CostModel",
     "DEFAULT_COSTS",
     "VirtualClock",
+    # replication
+    "Replica",
+    "LogShipper",
+    "ShipTransport",
+    "DivergenceDetector",
     # errors
     "ReproError",
     "ConfigError",
@@ -81,4 +96,8 @@ __all__ = [
     "RecoveryError",
     "CheckpointError",
     "WorkloadError",
+    "ArchiveError",
+    "ReplicationError",
+    "DivergenceDetected",
+    "PromotionError",
 ]

@@ -11,6 +11,7 @@ Usage::
     python -m repro.bench --faults --faults-backing mmap
     python -m repro.bench --serving       # concurrent-session throughput/latency
     python -m repro.bench --serving --serving-quick   # CI smoke variant
+    python -m repro.bench --replication   # hot-standby detection/failover gate
 """
 
 from __future__ import annotations
@@ -307,6 +308,27 @@ def main(argv: list[str] | None = None) -> int:
         "(default: BENCH_serving.json)",
     )
     parser.add_argument(
+        "--replication",
+        action="store_true",
+        help="run the two-node replication campaign (log-shipped hot "
+        "standby, independent replica audits, certified failover): exit 1 "
+        "on any false negative, untolerated transport fault, uncertified "
+        "promotion, or lost-commit window past the ship window bound",
+    )
+    parser.add_argument(
+        "--replication-quick",
+        action="store_true",
+        help="shrink the --replication campaign to one seed for CI smoke "
+        "runs (also via REPL_BENCH_QUICK=1)",
+    )
+    parser.add_argument(
+        "--replication-json",
+        metavar="PATH",
+        default="BENCH_replication.json",
+        help="where --replication writes its JSON artifact "
+        "(default: BENCH_replication.json)",
+    )
+    parser.add_argument(
         "--profile",
         action="store_true",
         help="cProfile one TPC-B run and print the hottest frames by "
@@ -333,6 +355,17 @@ def main(argv: list[str] | None = None) -> int:
         from repro.bench.serving import run_serving_benchmark
 
         return run_serving_benchmark(args.serving_json, quick=args.serving_quick)
+
+    if args.replication:
+        from repro.bench.replication import run_replication_benchmark
+
+        # --json alongside --replication merges the detection-latency
+        # percentiles into the generic artifact as well.
+        return run_replication_benchmark(
+            args.replication_json,
+            quick=args.replication_quick,
+            merge_json=args.json,
+        )
 
     table1 = None
     table2 = None

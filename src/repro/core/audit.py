@@ -114,9 +114,43 @@ class Auditor:
         #: ``"checkpoint"`` trigger), consumed by the next
         #: :meth:`run_for_checkpoint` call.
         self._pending_checkpoint_report: AuditReport | None = None
+        #: Digest listeners: ``fn(ck_end, digests)`` callables invoked
+        #: when a certified checkpoint publishes its per-region codeword
+        #: digests (replication's divergence channel -- see
+        #: :meth:`publish_digests`).
+        self.digest_listeners: list = []
+        self.digests_published = 0
 
     def _maintainer(self):
         return getattr(self.scheme, "maintainer", None)
+
+    # -------------------------------------------------- digest publication
+
+    def publish_digests(self, ck_end: int, quiescent: bool = True) -> bool:
+        """Publish per-region *computed* digests for the epoch ``ck_end``.
+
+        Called by the checkpointer right after a certified anchor flip.
+        The digests are content folds (``fold_all``), not the stored
+        codewords: a wild write moves the fold but not the stored word,
+        and the whole point of the channel is that a replica folding its
+        *own* replayed image sees the difference.
+
+        Publication is skipped when the primary is not quiescent (active
+        transactions hold image writes whose records have not migrated to
+        the system log, so the image at ``ck_end`` is not a pure function
+        of the shipped record stream) -- the epoch simply does not happen
+        rather than mis-accusing a healthy replica.
+        """
+        if not self.digest_listeners or not quiescent:
+            return False
+        table = self.scheme.codeword_table
+        if table is None:
+            return False
+        digests = table.fold_all()
+        for listener in self.digest_listeners:
+            listener(ck_end, digests)
+        self.digests_published += 1
+        return True
 
     def run(
         self,

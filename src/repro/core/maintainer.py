@@ -492,6 +492,23 @@ class CodewordMaintainer:
             self.meter.charge("checksum_word", word_count(len(data)))
         return fold_words(data)
 
+    def region_digests(self):
+        """Per-region *computed* folds of the current content.
+
+        The divergence primitive for replication: two nodes that applied
+        the same record stream to the same starting image have identical
+        digests, and a wild write on either side moves exactly the folds
+        of the regions it hit.  Content folds, not the stored codewords --
+        a wild write leaves the stored word untouched (that is the
+        paper's detection premise), so stored words would never diverge.
+        Deferred deltas are flushed first so a subsequent self-audit of a
+        mismatched region is a pure stored-vs-computed comparison.
+        """
+        assert self.table is not None
+        if self.deferred:
+            self.flush_pending()
+        return self.table.fold_all()
+
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (
             f"CodewordMaintainer(region_size={self.region_size}, "

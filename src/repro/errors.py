@@ -132,6 +132,48 @@ class CheckpointError(ReproError):
     """Checkpoint could not be written or certified."""
 
 
+class ArchiveError(RecoveryError):
+    """An archive could not be created or read.
+
+    Typed (rather than a bare :class:`RecoveryError` message) so campaign
+    scoring can classify "the checkpoint under the archive failed
+    certification" as a detection, not a schedule error.
+    """
+
+
+class ReplicationError(ReproError):
+    """Log shipping or replica replay failed (bad batch, seq/LSN gap...)."""
+
+
+class DivergenceDetected(CorruptionDetected):
+    """The replica's codeword digest disagrees with the primary's.
+
+    Carries the replay epoch (the primary checkpoint's ``CK_end``), the
+    mismatched region ids and the classification the
+    :class:`~repro.replication.divergence.DivergenceDetector` assigned:
+    ``"primary"`` (replica self-audit clean -- the primary's content
+    moved), ``"replica"`` (the replica's own audit convicts the region)
+    or ``"both"``.
+    """
+
+    def __init__(self, region_ids: list[int], ck_end: int, classification: str):
+        super().__init__(list(region_ids), context=f"digest epoch {ck_end}")
+        self.ck_end = ck_end
+        self.classification = classification
+
+
+class PromotionError(ReplicationError):
+    """Failover could not certify the replica's image.
+
+    Carries the failed :class:`~repro.core.audit.AuditReport` so the
+    caller can quarantine/repair and retry the promotion.
+    """
+
+    def __init__(self, message: str, audit_report=None):
+        super().__init__(message)
+        self.audit_report = audit_report
+
+
 class WorkloadError(ReproError):
     """Benchmark workload misconfiguration."""
 

@@ -30,6 +30,19 @@ The instrumented boundaries:
 ``recovery.after_undo``    undo complete (compensations logged), finish not
 ``recovery.pre_complete``  before amendments + the final recovery checkpoint
 ``archive.after_restore``  archive files copied over, replay not begun
+``replica.before_ingest``  a ship batch passed CRC + sequencing checks, before
+                           any of its frames reach the replica's own log -- the
+                           whole batch is lost and must be retransmitted
+``replica.after_ingest``   the batch's frames are durable in the replica's log,
+                           the image has not been touched -- reopen replays
+                           them from the replica's own stable log
+``replica.after_apply``    batch applied to the image and codeword table
+                           (volatile); durable state is the same as
+                           ``after_ingest``
+``promote.pre_sweep``      replay drained to the last contiguous LSN, the
+                           certifying full sweep has not begun
+``promote.after_sweep``    image certified, in-flight transactions not yet
+                           rolled back, final checkpoint not taken
 ========================== =====================================================
 
 The registry is a null object: every :class:`~repro.storage.database.Database`
@@ -61,6 +74,11 @@ CRASH_POINTS: tuple[str, ...] = (
     "recovery.after_undo",
     "recovery.pre_complete",
     "archive.after_restore",
+    "replica.before_ingest",
+    "replica.after_ingest",
+    "replica.after_apply",
+    "promote.pre_sweep",
+    "promote.after_sweep",
 )
 
 #: Points inside :meth:`RestartRecovery.run` -- the idempotence property
@@ -70,6 +88,20 @@ RECOVERY_CRASH_POINTS: tuple[str, ...] = (
     "recovery.mid_undo",
     "recovery.after_undo",
     "recovery.pre_complete",
+)
+
+#: Points at the replica's replay and promotion boundaries -- the replica
+#: idempotence property quantifies over these: crash the standby at any
+#: of them, reopen it, resume shipping, and promotion converges to the
+#: same certified image.  (``promote.*`` composes with the
+#: ``recovery.mid_undo``/``recovery.pre_complete`` points, which
+#: promotion also traverses through the shared undo/finish machinery.)
+REPLICA_CRASH_POINTS: tuple[str, ...] = (
+    "replica.before_ingest",
+    "replica.after_ingest",
+    "replica.after_apply",
+    "promote.pre_sweep",
+    "promote.after_sweep",
 )
 
 #: Points reached during normal forward processing (commit flushes and

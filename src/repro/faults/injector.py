@@ -200,6 +200,37 @@ class FaultInjector:
         address = tbl.record_address(slot)
         return self.wild_write(address, tbl.schema.record_size)
 
+    # -------------------------------------------------- transport faults
+
+    def _ship_fault(self, transport, kind: str) -> CorruptionEvent:
+        """Arm one transport fault and record it as ground truth.
+
+        Transport faults damage bytes *in flight*, not the image, so the
+        event's address/old/new carry no memory content -- the kind and
+        the transport's own ``faults_applied`` list are the ground truth
+        the replication campaign scores against.
+        """
+        transport.arm_fault(kind)
+        event = CorruptionEvent(f"ship_{kind}", -1, b"", b"")
+        self.events.append(event)
+        return event
+
+    def drop_batch(self, transport) -> CorruptionEvent:
+        """The next ship batch vanishes in the network."""
+        return self._ship_fault(transport, "drop")
+
+    def duplicate_batch(self, transport) -> CorruptionEvent:
+        """The next ship batch is delivered twice."""
+        return self._ship_fault(transport, "duplicate")
+
+    def reorder_batches(self, transport) -> CorruptionEvent:
+        """The next ship batch arrives after its successor."""
+        return self._ship_fault(transport, "reorder")
+
+    def tear_batch(self, transport) -> CorruptionEvent:
+        """The next ship batch arrives truncated (fails its CRC)."""
+        return self._ship_fault(transport, "tear")
+
     # ----------------------------------------------------------- helpers
 
     def _random_address(self, length: int) -> int:

@@ -25,7 +25,7 @@ import shutil
 from dataclasses import dataclass
 from typing import TYPE_CHECKING
 
-from repro.errors import RecoveryError, SimulatedCrash
+from repro.errors import ArchiveError, SimulatedCrash
 from repro.recovery.checkpoint import ANCHOR_FILE
 from repro.recovery.restart import (
     CorruptionContext,
@@ -56,9 +56,11 @@ def create_archive(db: "Database", archive_dir: str) -> ArchiveInfo:
     A fresh checkpoint is taken first so the archive is certified
     corruption-free and update-consistent at its own ``CK_end``.
     """
+    from repro.storage.database import CATALOG_FILE
+
     result = db.checkpoint()
     if not result.certified:
-        raise RecoveryError(
+        raise ArchiveError(
             "cannot archive: the checkpoint failed certification (the "
             "image is corrupt); recover first"
         )
@@ -66,6 +68,12 @@ def create_archive(db: "Database", archive_dir: str) -> ArchiveInfo:
     image = result.image
     for filename in (f"ckpt_{image}.img", f"ckpt_{image}.meta", ANCHOR_FILE):
         shutil.copy2(db.path(filename), os.path.join(archive_dir, filename))
+    # The catalog rides along so the archive is self-contained: a replica
+    # bootstrapping into an empty directory needs the schema to rebuild
+    # its layout before it can replay a single record.
+    catalog = db.path(CATALOG_FILE)
+    if os.path.exists(catalog):
+        shutil.copy2(catalog, os.path.join(archive_dir, CATALOG_FILE))
     manifest = {"image": image, "ck_end": result.ck_end}
     with open(os.path.join(archive_dir, ARCHIVE_MANIFEST), "w") as handle:
         json.dump(manifest, handle)
@@ -75,7 +83,7 @@ def create_archive(db: "Database", archive_dir: str) -> ArchiveInfo:
 def read_archive_info(archive_dir: str) -> ArchiveInfo:
     path = os.path.join(archive_dir, ARCHIVE_MANIFEST)
     if not os.path.exists(path):
-        raise RecoveryError(f"no archive manifest at {path}")
+        raise ArchiveError(f"no archive manifest at {path}")
     with open(path) as handle:
         manifest = json.load(handle)
     return ArchiveInfo(

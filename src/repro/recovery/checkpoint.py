@@ -126,6 +126,12 @@ class Checkpointer:
         crashpoints.reach("checkpoint.pre_anchor")
         self._write_anchor({"image": image, "ck_end": ck_end})
         crashpoints.reach("checkpoint.after_anchor")
+        # A certified anchor is a digest epoch: replication listeners get
+        # the per-region content folds for exactly the state a replica
+        # reaches after replaying every record below ``ck_end``.  Only
+        # published when no transaction is in flight (in-flight image
+        # writes have no shipped records yet).
+        db.auditor.publish_digests(ck_end, quiescent=len(db.manager.att) == 0)
         return CheckpointResult(image, ck_end, len(pages), True, report)
 
     def _write_image(self, image: str, pages: list[int]) -> None:

@@ -271,6 +271,13 @@ class RestartRecovery:
             ck_end=0,
             audit_sn=max((c.audit_sn for c in contexts), default=0),
         )
+        #: Continuous-restore mode only (see :meth:`continuous`): redo
+        #: applies codeword maintenance alongside each image restore, so
+        #: a replica's table stays incrementally correct between its own
+        #: audits.  Plain restart leaves this False -- ``_undo_phase``
+        #: rebuilds the table wholesale, so per-record maintenance there
+        #: would be wasted work.
+        self.maintain_codewords = False
 
     @property
     def corruption_mode(self) -> bool:
@@ -327,6 +334,58 @@ class RestartRecovery:
             self._max_txn_id = max(self._max_txn_id, txn_id)
             for entry in rec.entries:
                 self._seq = max(self._seq, entry.seq + 1)
+
+    # ------------------------------------------------- continuous replay
+
+    @classmethod
+    def continuous(
+        cls,
+        db: "Database",
+        ck_end: int,
+        att_bytes: bytes,
+        maintain_codewords: bool = True,
+    ) -> "RestartRecovery":
+        """A recovery run driven one record at a time: the hot standby.
+
+        A replica is a restart recovery that never finishes.  The caller
+        loads the archived checkpoint image into memory first, then feeds
+        every shipped record through :meth:`apply_record` as it arrives,
+        instead of this class scanning a local log; :meth:`complete`
+        (promotion) runs the undo/finish tail whenever failover demands
+        it.  ``maintain_codewords`` keeps the replica's codeword table
+        incrementally correct during replay -- redo bypasses the
+        prescribed update interface, so without it the table would only
+        match the image at rebuild points and the replica's own audits
+        could not convict replica-side wild writes.
+        """
+        recovery = cls(db, None)
+        recovery.report.ck_end = ck_end
+        recovery.maintain_codewords = maintain_codewords
+        recovery._load_checkpointed_att(att_bytes)
+        return recovery
+
+    def apply_record(self, record) -> None:
+        """Replay one shipped record through the redo machinery."""
+        self._dispatch(record)
+
+    def complete(self, last_lsn: int) -> RecoveryReport:
+        """Finish a continuous replay: the promotion tail of :meth:`run`.
+
+        Rolls back transactions still in flight at ``last_lsn`` (the last
+        contiguous applied LSN) and takes the recovery checkpoint.  The
+        caller must run its certifying sweep *before* this:
+        ``_undo_phase`` rebuilds every codeword from the image, which
+        would fold existing replica-side corruption into fresh, matching
+        codewords and mask it forever.
+        """
+        db = self.db
+        db.system_log.next_lsn = last_lsn + 1
+        db.system_log.end_of_stable_lsn = last_lsn + 1
+        db.manager._next_txn_id = self._max_txn_id + 1
+        db.manager._next_seq = self._seq + 1
+        self._undo_phase()
+        self._finish()
+        return self.report
 
     def _seed_due_contexts(self, lsn: int) -> None:
         """Seed the CorruptDataTable of every context whose Audit_SN has
@@ -455,6 +514,12 @@ class RestartRecovery:
             PhysicalUndo(self._take_seq(), op_id, record.address, pre_image, True)
         )
         self.db.memory.restore(record.address, record.image)
+        if self.maintain_codewords:
+            maintainer = getattr(self.db.pipeline, "maintainer", None)
+            if maintainer is not None:
+                maintainer.apply_maintenance(
+                    record.address, pre_image, record.image
+                )
         self.db.meter.charge("redo_apply")
         self.report.redo_applied += 1
 

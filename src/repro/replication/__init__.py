@@ -1,0 +1,54 @@
+"""Codeword-verified replication: log-shipped hot standby.
+
+The single-node story (audits, certified checkpoints, corruption
+recovery) protects one image against wild writes.  This package extends
+the same codeword machinery across two nodes:
+
+* :mod:`repro.replication.transport` -- sequence-numbered, CRC-framed
+  ship batches over a fault-injectable in-memory channel;
+* :mod:`repro.replication.shipper` -- the primary-side session: bounded
+  in-flight window, cumulative acks, retransmit with capped backoff,
+  digest epochs sequenced into the stream;
+* :mod:`repro.replication.replica` -- a continuously-restoring archive
+  that replays shipped frames through restart recovery, maintains its
+  own independent codeword table, audits itself, and can
+  :meth:`~repro.replication.replica.Replica.promote` into a certified
+  primary;
+* :mod:`repro.replication.divergence` -- per-region digest comparison at
+  checkpoint epochs, classifying primary-side vs replica-side vs
+  transport corruption;
+* :mod:`repro.replication.campaign` -- the fault campaign scoring
+  detection latency and lost-commit windows (``repro.bench
+  --replication``).
+
+See ``docs/replication.md`` for the architecture walk-through.
+"""
+
+from repro.replication.divergence import DivergenceDetector, DivergenceReport
+from repro.replication.replica import (
+    PromotionReport,
+    Replica,
+    ReplicaDetection,
+)
+from repro.replication.shipper import LogShipper
+from repro.replication.transport import (
+    FAULT_KINDS,
+    KIND_DIGEST,
+    KIND_RECORDS,
+    ShipBatch,
+    ShipTransport,
+)
+
+__all__ = [
+    "DivergenceDetector",
+    "DivergenceReport",
+    "FAULT_KINDS",
+    "KIND_DIGEST",
+    "KIND_RECORDS",
+    "LogShipper",
+    "PromotionReport",
+    "Replica",
+    "ReplicaDetection",
+    "ShipBatch",
+    "ShipTransport",
+]

@@ -1,0 +1,785 @@
+"""Replication fault campaign: detection, tolerance, certified failover.
+
+The single-node campaign (:mod:`repro.faults.campaign`) scores how fast
+one protection stack catches its own wild writes.  This campaign scores
+the *two-node* story end to end.  Each schedule runs a primary with a
+hot standby attached (archive bootstrap, log shipping, digest epochs),
+injects exactly one fault from the matrix below, then kills the primary
+and promotes the replica -- every schedule finishes with a certified
+failover and a committed-value check against ground truth.
+
+Fault matrix (one kind per schedule):
+
+=====================  ==================================================
+kind                   what happens / what must be observed
+=====================  ==================================================
+clean                  nothing injected; clean convergence + failover
+abrupt_death           primary dies with unshipped + dropped in-flight
+                       batches; the lost-commit window must be surfaced
+                       and bounded by the ship window
+primary_wild_write_hot unlogged poke over a *workload-hot* record on the
+                       primary; caught by replay checksums / digests /
+                       primary certification -- never by nothing
+primary_wild_write_cold poke over a record no transaction touches; the
+                       primary's incremental audits are blind to it, the
+                       replica's digest check is not -- the headline
+                       detection-latency comparison
+replica_wild_write     poke over the replica's image; its own audits or
+                       the digest self-audit convict it, promotion
+                       refuses to certify until repaired
+ship_drop              a batch vanishes; retransmit must converge
+ship_duplicate         a batch arrives twice; seq/LSN dedup must absorb
+ship_reorder           a batch overtakes its successor; the reorder
+                       buffer must restore order
+ship_tear              a batch arrives truncated; the CRC must classify
+                       it as transport corruption and retransmit
+crash_replica          a replica crash point fires mid-ingest/apply;
+                       reopen + resync must converge byte-identically
+crash_promote          a crash point fires mid-promotion; re-promotion
+                       must converge to the same certified image
+=====================  ==================================================
+
+Scoring is against injector ground truth, exactly like the single-node
+campaign: a corruption kind with no detection by the end of the schedule
+(digest epochs included) is a **false negative** and fails the bench
+gate; a transport kind that does not converge is a tolerance failure;
+every promotion must certify, and every surviving value must come from
+the committed-value history.
+
+Determinism: each schedule seeds ``random.Random(f"{seed}:{kind}:{index}")``
+(string seeding, stable across processes).
+"""
+
+from __future__ import annotations
+
+import os
+import random
+import shutil
+from dataclasses import dataclass, field
+
+from repro.errors import (
+    CorruptionDetected,
+    PromotionError,
+    QuarantinedRegionError,
+    ReproError,
+    SimulatedCrash,
+)
+from repro.faults.crashpoints import (
+    CrashPointRegistry,
+    REPLICA_CRASH_POINTS,
+)
+from repro.faults.injector import FaultInjector
+from repro.replication.replica import Replica
+from repro.replication.shipper import LogShipper
+from repro.replication.transport import ShipTransport
+
+#: One schedule per (kind, seed, index).
+REPLICATION_FAULT_KINDS = (
+    "clean",
+    "abrupt_death",
+    "primary_wild_write_hot",
+    "primary_wild_write_cold",
+    "replica_wild_write",
+    "ship_drop",
+    "ship_duplicate",
+    "ship_reorder",
+    "ship_tear",
+    "crash_replica",
+    "crash_promote",
+)
+
+#: Kinds that land corrupt bytes in an image -- zero false negatives
+#: required, detection latency reported.
+CORRUPTION_KINDS = (
+    "primary_wild_write_hot",
+    "primary_wild_write_cold",
+    "replica_wild_write",
+)
+
+#: Kinds that damage the channel, not an image -- tolerance (convergence
+#: under retransmit/dedup/reorder) is what is scored.
+TRANSPORT_KINDS = ("ship_drop", "ship_duplicate", "ship_reorder", "ship_tear")
+
+_PROMOTE_CRASH_POINTS = (
+    "promote.pre_sweep",
+    "promote.after_sweep",
+    "recovery.mid_undo",
+    "recovery.pre_complete",
+)
+
+
+@dataclass(frozen=True)
+class ReplicationCampaignSpec:
+    """Shape of one replication campaign."""
+
+    seeds: tuple[int, ...] = (1, 2, 3)
+    kinds: tuple[str, ...] = REPLICATION_FAULT_KINDS
+    schedules_per_kind: int = 1
+    scheme: str = "data_cw+cw_read_logging"
+    ops_per_schedule: int = 24
+    accounts: int = 16
+    region_size: int = 256
+    #: Primary checkpoint cadence in workload ops; every certified
+    #: checkpoint publishes a digest epoch, so this bounds the replica's
+    #: detection latency for cold corruption.
+    checkpoint_every: int = 5
+    window: int = 4
+    batch_records: int = 8
+    audit_every_batches: int = 4
+
+    @property
+    def total_schedules(self) -> int:
+        return len(self.seeds) * len(self.kinds) * self.schedules_per_kind
+
+
+@dataclass
+class ReplicationOutcome:
+    """Score of one schedule against ground truth."""
+
+    kind: str
+    seed: int
+    index: int
+    fault_op: int = -1
+    #: "replay_checksum" | "audit" | "digest" | "transport" |
+    #: "primary_certify" | "primary_inline" | "promote_sweep" | "none"
+    detection_stage: str = "none"
+    detection_op: int | None = None
+    #: Divergence classification when the digest channel fired.
+    classification: str = ""
+    false_negative: bool = False
+    #: Transport kinds: did the protocol converge despite the fault?
+    tolerated: bool = True
+    promoted: bool = False
+    certified: bool = False
+    promote_retries: int = 0
+    crashes: int = 0
+    lost_commit_window: int | None = None
+    lost_window_bound: int = 0
+    value_ok: bool = True
+    #: ``primary_wild_write_cold`` only: ops the *single-node* arm needed
+    #: to catch the same fault (its final full sweep).
+    single_node_latency: int | None = None
+    retransmits: int = 0
+    transport_errors: int = 0
+    error: str | None = None
+
+    @property
+    def detection_latency(self) -> int | None:
+        if self.detection_op is None:
+            return None
+        return self.detection_op - self.fault_op
+
+
+@dataclass
+class ReplicationCampaignResult:
+    """All outcomes plus the aggregate scoreboard."""
+
+    spec: ReplicationCampaignSpec
+    outcomes: list[ReplicationOutcome] = field(default_factory=list)
+
+    @property
+    def false_negatives(self) -> list[ReplicationOutcome]:
+        return [o for o in self.outcomes if o.false_negative]
+
+    @property
+    def tolerance_failures(self) -> list[ReplicationOutcome]:
+        return [
+            o
+            for o in self.outcomes
+            if o.kind in TRANSPORT_KINDS and not o.tolerated
+        ]
+
+    @property
+    def uncertified(self) -> list[ReplicationOutcome]:
+        return [o for o in self.outcomes if o.error is None and not o.certified]
+
+    @property
+    def errors(self) -> list[ReplicationOutcome]:
+        return [o for o in self.outcomes if o.error is not None]
+
+    def detection_latencies(self) -> list[int]:
+        return sorted(
+            o.detection_latency
+            for o in self.outcomes
+            if o.kind in CORRUPTION_KINDS and o.detection_latency is not None
+        )
+
+    def latency_percentiles(self) -> dict[str, float | None]:
+        """p50/p90/max of replica-side detection latency, in workload ops."""
+        latencies = self.detection_latencies()
+        if not latencies:
+            return {"p50": None, "p90": None, "max": None}
+
+        def pct(p: float) -> float:
+            i = min(len(latencies) - 1, int(round(p * (len(latencies) - 1))))
+            return float(latencies[i])
+
+        return {"p50": pct(0.5), "p90": pct(0.9), "max": float(latencies[-1])}
+
+    def cold_comparison(self) -> dict:
+        """Replica digest latency vs single-node full-sweep latency."""
+        rows = [o for o in self.outcomes if o.kind == "primary_wild_write_cold"]
+        pairs = [
+            (o.detection_latency, o.single_node_latency)
+            for o in rows
+            if o.detection_latency is not None
+            and o.single_node_latency is not None
+        ]
+        return {
+            "schedules": len(rows),
+            "compared": len(pairs),
+            "replica_latencies": [p[0] for p in pairs],
+            "single_node_latencies": [p[1] for p in pairs],
+            "replica_strictly_faster": all(r < s for r, s in pairs) and bool(pairs),
+        }
+
+    def lost_commit_stats(self) -> dict:
+        rows = [o for o in self.outcomes if o.lost_commit_window is not None]
+        windows = [o.lost_commit_window for o in rows]
+        return {
+            "schedules": len(rows),
+            "max_lost_records": max(windows, default=None),
+            "nonzero": sum(1 for w in windows if w),
+            "bound_violations": sum(
+                1
+                for o in rows
+                if o.lost_window_bound and o.lost_commit_window > o.lost_window_bound
+            ),
+        }
+
+    def scoreboard(self) -> dict[str, dict]:
+        board: dict[str, dict] = {}
+        for kind in self.spec.kinds:
+            rows = [o for o in self.outcomes if o.kind == kind]
+            latencies = [
+                o.detection_latency
+                for o in rows
+                if o.detection_latency is not None
+            ]
+            stages: dict[str, int] = {}
+            for o in rows:
+                stages[o.detection_stage] = stages.get(o.detection_stage, 0) + 1
+            board[kind] = {
+                "schedules": len(rows),
+                "detected": sum(1 for o in rows if o.detection_op is not None),
+                "false_negatives": sum(1 for o in rows if o.false_negative),
+                "tolerated": sum(1 for o in rows if o.tolerated),
+                "mean_detection_latency_ops": (
+                    round(sum(latencies) / len(latencies), 2) if latencies else None
+                ),
+                "stages": dict(sorted(stages.items())),
+                "promoted": sum(1 for o in rows if o.promoted),
+                "certified": sum(1 for o in rows if o.certified),
+                "promote_retries": sum(o.promote_retries for o in rows),
+                "crashes": sum(o.crashes for o in rows),
+                "max_lost_commit_window": max(
+                    (o.lost_commit_window or 0 for o in rows), default=0
+                ),
+                "values_ok": sum(1 for o in rows if o.value_ok),
+                "retransmits": sum(o.retransmits for o in rows),
+                "errors": sum(1 for o in rows if o.error is not None),
+            }
+        return board
+
+    def to_payload(self) -> dict:
+        return {
+            "spec": {
+                "seeds": list(self.spec.seeds),
+                "kinds": list(self.spec.kinds),
+                "schedules_per_kind": self.spec.schedules_per_kind,
+                "scheme": self.spec.scheme,
+                "ops_per_schedule": self.spec.ops_per_schedule,
+                "accounts": self.spec.accounts,
+                "region_size": self.spec.region_size,
+                "checkpoint_every": self.spec.checkpoint_every,
+                "window": self.spec.window,
+                "batch_records": self.spec.batch_records,
+            },
+            "schedules": len(self.outcomes),
+            "false_negatives": len(self.false_negatives),
+            "tolerance_failures": len(self.tolerance_failures),
+            "uncertified_promotions": len(self.uncertified),
+            "detection_latency_ops": self.latency_percentiles(),
+            "cold_region_comparison": self.cold_comparison(),
+            "lost_commit_window": self.lost_commit_stats(),
+            "errors": [
+                {"kind": o.kind, "seed": o.seed, "index": o.index, "error": o.error}
+                for o in self.errors
+            ],
+            "scoreboard": self.scoreboard(),
+        }
+
+
+class ReplicationCampaignRunner:
+    """Replays a :class:`ReplicationCampaignSpec` and scores it."""
+
+    def __init__(self, spec: ReplicationCampaignSpec, base_dir: str) -> None:
+        self.spec = spec
+        self.base_dir = base_dir
+
+    def run(self) -> ReplicationCampaignResult:
+        result = ReplicationCampaignResult(self.spec)
+        for kind in self.spec.kinds:
+            for seed in self.spec.seeds:
+                for index in range(self.spec.schedules_per_kind):
+                    result.outcomes.append(self._run_schedule(kind, seed, index))
+        return result
+
+    def _run_schedule(self, kind: str, seed: int, index: int) -> ReplicationOutcome:
+        work_dir = os.path.join(self.base_dir, f"{kind}-s{seed}-{index}")
+        if os.path.exists(work_dir):
+            shutil.rmtree(work_dir)
+        os.makedirs(work_dir)
+        schedule = _ReplicationSchedule(self.spec, kind, seed, index, work_dir)
+        try:
+            return schedule.run()
+        except Exception as exc:  # scored, not raised
+            schedule.outcome.error = f"{type(exc).__name__}: {exc}"
+            return schedule.outcome
+        finally:
+            schedule.close()
+            shutil.rmtree(work_dir, ignore_errors=True)
+
+
+class _ReplicationSchedule:
+    """One schedule: primary + standby, one fault, death, failover."""
+
+    def __init__(self, spec, kind, seed, index, work_dir) -> None:
+        self.spec = spec
+        self.kind = kind
+        self.work_dir = work_dir
+        self.rng = random.Random(f"{seed}:{kind}:{index}")
+        self.outcome = ReplicationOutcome(kind=kind, seed=seed, index=index)
+        self.db = None
+        self.replica: Replica | None = None
+        self.shipper: LogShipper | None = None
+        self.transport = ShipTransport()
+        self.replica_registry = CrashPointRegistry()
+        self.injector: FaultInjector | None = None
+        self.slots: dict[int, int] = {}
+        self.committed: dict[int, list[int]] = {}
+        self.primary_dead = False
+
+    # ------------------------------------------------------------- setup
+
+    def _db_config(self, name: str):
+        from repro import DBConfig
+
+        return DBConfig(
+            dir=os.path.join(self.work_dir, name),
+            scheme=self.spec.scheme,
+            scheme_params={"region_size": self.spec.region_size},
+            quarantine=True,
+            audit_mode="incremental",
+            # The primary's full-sweep escalation is pushed past the
+            # schedule horizon on purpose: cold corruption must be
+            # invisible to the primary's own routine audits so the
+            # replica's digest channel is what catches it.
+            full_sweep_every=1000,
+        )
+
+    def _build_primary(self):
+        from repro import Database, Field, FieldType, Schema
+
+        schema = Schema(
+            [Field("id", FieldType.INT64), Field("balance", FieldType.INT64)]
+        )
+        db = Database(self._db_config("primary"))
+        db.create_table(
+            "acct", schema, capacity=max(64, self.spec.accounts * 4), key_field="id"
+        )
+        db.start()
+        return db
+
+    def close(self) -> None:
+        for node in (self.replica, ):
+            if node is not None:
+                try:
+                    node.close()
+                except Exception:
+                    pass
+        if self.db is not None:
+            try:
+                self.db.close()
+            except Exception:
+                pass
+
+    # --------------------------------------------------------------- run
+
+    def run(self) -> ReplicationOutcome:
+        from repro.recovery.archive import create_archive
+
+        spec, rng, out = self.spec, self.rng, self.outcome
+        self.db = self._build_primary()
+        table = self.db.table("acct")
+        txn = self.db.begin()
+        for i in range(spec.accounts):
+            balance = 1000 + i
+            self.slots[i] = table.insert(txn, {"id": i, "balance": balance})
+            self.committed[i] = [balance]
+        self.db.commit(txn)
+        archive_dir = os.path.join(self.work_dir, "archive")
+        create_archive(self.db, archive_dir)
+        self.injector = FaultInjector(self.db, seed=rng.randrange(2**31))
+
+        self.replica_config = self._db_config("replica")
+        self.replica = Replica.bootstrap(
+            self.replica_config,
+            archive_dir,
+            crashpoints=self.replica_registry,
+            audit_every=spec.audit_every_batches,
+        )
+        self.shipper = LogShipper(
+            self.db,
+            self.transport,
+            self.replica,
+            window=spec.window,
+            batch_records=spec.batch_records,
+        )
+        out.lost_window_bound = self.shipper.lost_window_bound
+
+        ops = spec.ops_per_schedule
+        # Cold corruption needs at least one digest epoch (plus slack)
+        # after injection; everything else just needs room to act.
+        if self.kind in CORRUPTION_KINDS:
+            out.fault_op = rng.randrange(2, ops - 2 * spec.checkpoint_every)
+        else:
+            out.fault_op = rng.randrange(2, max(3, ops - 4))
+        acct_seq = [rng.randrange(spec.accounts) for _ in range(ops)]
+        value_seq = [rng.randrange(1, 10**6) for _ in range(ops)]
+
+        for op in range(ops):
+            if op == out.fault_op:
+                self._inject(acct_seq, op)
+            try:
+                self._workload_op(table, acct_seq[op], value_seq[op], op)
+            except (QuarantinedRegionError, CorruptionDetected):
+                # The primary's own stack caught it inline; stop the
+                # primary and fail over -- the replica must still hold
+                # every committed value.
+                self._on_detect("primary_inline", op)
+                break
+            self._pump(op)
+            self._poll_detection(op)
+        else:
+            op = ops
+
+        return self._failover(op)
+
+    def _workload_op(self, table, acct: int, value: int, op: int) -> None:
+        if op % self.spec.checkpoint_every == self.spec.checkpoint_every - 1:
+            result = self.db.checkpoint()
+            if not result.certified:
+                self._on_detect("primary_certify", op)
+                raise CorruptionDetected(
+                    list(result.audit_report.corrupt_regions)
+                    if result.audit_report
+                    else [],
+                    context="checkpoint certification",
+                )
+            return
+        txn = self.db.begin()
+        try:
+            table.update(txn, self.slots[acct], {"balance": value})
+        except Exception:
+            self.db.abort(txn)
+            raise
+        self.db.commit(txn)
+        self.committed[acct].append(value)
+
+    # ------------------------------------------------------------- faults
+
+    def _inject(self, acct_seq: list[int], op: int) -> None:
+        kind, rng, table = self.kind, self.rng, self.db.table("acct")
+        if kind == "primary_wild_write_hot":
+            # A record the workload will touch again: the next update of
+            # this account exercises the first-touch replay-checksum path.
+            target = acct_seq[min(op + 1, len(acct_seq) - 1)]
+            self.injector.wild_write(
+                address=table.record_address(self.slots[target]),
+                length=table.schema.record_size,
+            )
+        elif kind == "primary_wild_write_cold":
+            # An allocated-but-unused slot: no transaction ever reads or
+            # writes it, so only a full fold can see the damage.
+            cold_slot = self.spec.accounts + 3
+            self.injector.wild_write(
+                address=table.record_address(cold_slot), length=16
+            )
+        elif kind == "replica_wild_write":
+            target = rng.randrange(self.spec.accounts)
+            replica_table = self.replica.db.table("acct")
+            FaultInjector(self.replica.db, seed=rng.randrange(2**31)).wild_write(
+                address=replica_table.record_address(self.slots[target]),
+                length=16,
+            )
+        elif kind == "ship_drop":
+            self.injector.drop_batch(self.transport)
+        elif kind == "ship_duplicate":
+            self.injector.duplicate_batch(self.transport)
+        elif kind == "ship_reorder":
+            self.injector.reorder_batches(self.transport)
+        elif kind == "ship_tear":
+            self.injector.tear_batch(self.transport)
+        elif kind == "crash_replica":
+            self.replica_registry.arm(rng.choice(REPLICA_CRASH_POINTS[:3]))
+        elif kind == "crash_promote":
+            # Armed now, fires during promote()/its recovery tail.
+            self.replica_registry.arm(rng.choice(_PROMOTE_CRASH_POINTS))
+        elif kind in ("clean", "abrupt_death"):
+            pass
+        else:  # pragma: no cover - spec'd kinds only
+            raise ValueError(f"unknown replication fault kind {kind!r}")
+
+    # ---------------------------------------------------------- shipping
+
+    def _pump(self, op: int) -> None:
+        try:
+            self.shipper.pump()
+        except SimulatedCrash:
+            self._replica_crash_recover()
+
+    def _replica_crash_recover(self) -> None:
+        self.outcome.crashes += 1
+        self.replica.crash()
+        self.replica = Replica.reopen(
+            self.replica_config,
+            crashpoints=self.replica_registry,
+            audit_every=self.spec.audit_every_batches,
+        )
+        self.shipper.resync(self.replica)
+
+    def _poll_detection(self, op: int) -> None:
+        out, replica = self.outcome, self.replica
+        if out.detection_op is not None:
+            return
+        if replica.detections:
+            first = replica.detections[0]
+            self._on_detect(first.channel, op)
+            diverged = replica.divergence.diverged
+            if diverged:
+                out.classification = diverged[0].classification
+        elif replica.divergence.transport_errors:
+            self._on_detect("transport", op)
+
+    def _on_detect(self, stage: str, op: int) -> None:
+        if self.outcome.detection_op is None:
+            self.outcome.detection_stage = stage
+            self.outcome.detection_op = op
+
+    # ----------------------------------------------------------- failover
+
+    def _failover(self, end_op: int) -> ReplicationOutcome:
+        spec, out = self.spec, self.outcome
+        table = self.db.table("acct")
+
+        if self.kind == "abrupt_death" and not self.primary_dead:
+            # A burst of commits the replica never sees completely: some
+            # unshipped, one in-flight batch dropped on the floor.  No
+            # retransmission after death -- the gap IS the lost-commit
+            # window, and it must stay within the ship window bound.
+            for extra in range(3):
+                acct = self.rng.randrange(spec.accounts)
+                value = self.rng.randrange(1, 10**6)
+                txn = self.db.begin()
+                table.update(txn, self.slots[acct], {"balance": value})
+                self.db.commit(txn)
+                self.committed[acct].append(value)
+            self.transport.arm_fault("drop")
+            self._pump(end_op)
+        elif out.detection_stage not in ("primary_inline", "primary_certify"):
+            # An orderly handover window: one last digest epoch, then
+            # drain what the network still carries.
+            try:
+                self._workload_op(table, 0, 0, spec.checkpoint_every - 1)
+            except (QuarantinedRegionError, CorruptionDetected):
+                self._on_detect("primary_certify", end_op)
+            for _ in range(50):
+                if self.shipper.caught_up:
+                    break
+                self._pump(end_op)
+            self._poll_detection(end_op)
+
+        # Primary death: flush stopped, retransmission stopped.  Only
+        # what the network already carries still arrives.
+        primary_end = self.db.system_log.end_of_stable_lsn
+        self.db.crash()
+        self.primary_dead = True
+        for raw in self.transport.deliver():
+            try:
+                self.replica.receive(raw)
+            except SimulatedCrash:
+                self._replica_crash_recover()
+        self._poll_detection(end_op)
+
+        report = self._promote(primary_end)
+        out.promoted = True
+        out.certified = report.certified
+        out.lost_commit_window = report.lost_commit_window
+        self._score(end_op)
+        if self.kind == "primary_wild_write_cold":
+            out.single_node_latency = self._single_node_cold_latency()
+        return out
+
+    def _promote(self, primary_end: int):
+        out = self.outcome
+        for attempt in range(6):
+            try:
+                return self.replica.promote(primary_end_lsn=primary_end)
+            except PromotionError:
+                # The certifying sweep convicted regions (replica-side
+                # corruption): repair from the replica's own checkpoint
+                # and log, then certify again.
+                out.promote_retries += 1
+                if out.detection_op is None:
+                    self._on_detect("promote_sweep", self.spec.ops_per_schedule)
+                self.replica.repair()
+            except SimulatedCrash:
+                out.crashes += 1
+                out.promote_retries += 1
+                self.replica.crash()
+                self.replica = Replica.reopen(
+                    self.replica_config,
+                    crashpoints=self.replica_registry,
+                    audit_every=self.spec.audit_every_batches,
+                )
+        raise PromotionError("promotion did not converge within 6 attempts")
+
+    # ------------------------------------------------------------ scoring
+
+    def _score(self, end_op: int) -> None:
+        out = self.outcome
+        if self.kind in CORRUPTION_KINDS and out.detection_op is None:
+            out.false_negative = True
+        if self.kind in TRANSPORT_KINDS:
+            # Tolerance = the protocol converged: nothing corrupt landed,
+            # and no committed record was lost to the fault (retransmit,
+            # dedup or reordering absorbed it before the primary died).
+            out.tolerated = (
+                out.error is None
+                and not self.replica.db.pipeline.maintainer.quarantined
+                and not out.lost_commit_window
+            )
+            if self.kind == "ship_tear" and not out.transport_errors:
+                out.transport_errors = len(
+                    self.replica.divergence.transport_errors
+                )
+                if out.transport_errors == 0:
+                    # The tear was never observed: either the CRC layer
+                    # failed silently (a false negative of the transport
+                    # channel) or the fault never applied.
+                    applied = any(
+                        k == "tear" for k, _ in self.transport.faults_applied
+                    )
+                    out.false_negative = applied
+        out.retransmits = self.shipper.retransmits
+        out.transport_errors = len(self.replica.divergence.transport_errors)
+
+        # Committed-value check on the promoted node.  Exact-last where
+        # nothing was lost; member-of-history where a lost-commit window
+        # or crash legitimately rolled back the tail.
+        exact = (
+            self.kind not in ("abrupt_death", "crash_promote")
+            and not out.lost_commit_window
+            and out.detection_stage not in ("primary_inline", "primary_certify")
+        )
+        db = self.replica.db
+        table = db.table("acct")
+        for acct, slot in self.slots.items():
+            txn = db.begin()
+            try:
+                row = table.read(txn, slot)
+            except ReproError:
+                out.value_ok = False
+                continue
+            finally:
+                try:
+                    db.abort(txn)
+                except ReproError:
+                    pass
+            if exact:
+                if row["balance"] != self.committed[acct][-1]:
+                    out.value_ok = False
+            elif row["balance"] not in self.committed[acct]:
+                out.value_ok = False
+
+    def _single_node_cold_latency(self) -> int:
+        """The comparison arm: same fault, no replica watching.
+
+        Re-runs the schedule's workload on a single node with the same
+        incremental-audit primary configuration and the same cold wild
+        write.  The cold region is never in the dirty set, so routine
+        audits and checkpoint certification stay blind; the fault
+        surfaces only at the end-of-schedule full sweep -- the latency
+        the replica's digest channel must strictly beat.
+        """
+        from repro import Database, DBConfig, Field, FieldType, Schema
+
+        spec, out = self.spec, self.outcome
+        rng = random.Random(f"single:{out.seed}:{out.index}")
+        config = DBConfig(
+            dir=os.path.join(self.work_dir, "single"),
+            scheme=spec.scheme,
+            scheme_params={"region_size": spec.region_size},
+            quarantine=True,
+            audit_mode="incremental",
+            full_sweep_every=1000,
+        )
+        schema = Schema(
+            [Field("id", FieldType.INT64), Field("balance", FieldType.INT64)]
+        )
+        db = Database(config)
+        db.create_table(
+            "acct", schema, capacity=max(64, spec.accounts * 4), key_field="id"
+        )
+        db.start()
+        try:
+            table = db.table("acct")
+            txn = db.begin()
+            slots = {
+                i: table.insert(txn, {"id": i, "balance": 1000 + i})
+                for i in range(spec.accounts)
+            }
+            db.commit(txn)
+            db.checkpoint()
+            injector = FaultInjector(db, seed=rng.randrange(2**31))
+            detection_op: int | None = None
+            for op in range(spec.ops_per_schedule):
+                if op == out.fault_op:
+                    cold_slot = spec.accounts + 3
+                    injector.wild_write(
+                        address=table.record_address(cold_slot), length=16
+                    )
+                if op % spec.checkpoint_every == spec.checkpoint_every - 1:
+                    result = db.checkpoint()
+                    if not result.certified:
+                        detection_op = op
+                        break
+                else:
+                    acct = rng.randrange(spec.accounts)
+                    txn = db.begin()
+                    table.update(
+                        txn, slots[acct], {"balance": rng.randrange(1, 10**6)}
+                    )
+                    db.commit(txn)
+            if detection_op is None:
+                # End-of-schedule full sweep: the single node's first
+                # honest look at the whole image.
+                report = db.auditor.run()
+                detection_op = spec.ops_per_schedule
+                if report.clean:  # pragma: no cover - fault is in-image
+                    detection_op = spec.ops_per_schedule + 1
+            return detection_op - out.fault_op
+        finally:
+            try:
+                db.close()
+            except Exception:
+                pass
+
+
+def run_replication_campaign(
+    spec: ReplicationCampaignSpec, base_dir: str
+) -> ReplicationCampaignResult:
+    """Convenience wrapper: build a runner and run the whole campaign."""
+    os.makedirs(base_dir, exist_ok=True)
+    return ReplicationCampaignRunner(spec, base_dir).run()

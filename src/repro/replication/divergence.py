@@ -1,0 +1,118 @@
+"""Divergence detection: comparing codeword digests across nodes.
+
+A single node audits its own image against its own codeword table; a
+wild write that corrupts *both* consistently (or a fault in the auditing
+state itself) is invisible to it.  The replica closes that hole with an
+independent executor: it folds its *own* replayed image and compares the
+per-region digests against the ones the primary published with its
+checkpoint anchor.  Two nodes that applied the same record stream to the
+same archived image must have identical folds; any difference is
+corruption on one side or the other.
+
+Classification uses the replica's own codeword table as the tiebreaker:
+for each mismatched region the replica self-audits (stored codeword vs
+content).  If its own audit convicts the region, the replica's image
+moved without maintenance -- a replica-side wild write.  If its own
+audit is clean, the replica's content is exactly what the record stream
+produced, so the *primary's* fold is the one that moved -- a
+primary-side wild write, caught at the next digest epoch instead of the
+primary's (much later) full-sweep escalation.  Transport corruption
+never reaches this comparison: the batch CRC rejects it at receive time
+(counted separately by the replica).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
+
+import numpy as np
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.replication.replica import Replica
+
+
+@dataclass(frozen=True)
+class DivergenceReport:
+    """Outcome of one digest-epoch comparison."""
+
+    ck_end: int
+    regions_compared: int
+    mismatched_regions: tuple[int, ...]
+    #: Mismatched regions the replica's own audit convicts.
+    replica_side: tuple[int, ...]
+    #: Mismatched regions the replica's own audit clears.
+    primary_side: tuple[int, ...]
+    #: "clean" | "primary" | "replica" | "both"
+    classification: str
+
+    @property
+    def clean(self) -> bool:
+        return not self.mismatched_regions
+
+
+@dataclass
+class DivergenceDetector:
+    """Runs digest-epoch comparisons for one replica."""
+
+    replica: "Replica"
+    reports: list[DivergenceReport] = field(default_factory=list)
+    transport_errors: list[str] = field(default_factory=list)
+    epochs_checked: int = 0
+
+    def record_transport_error(self, detail: str) -> None:
+        """A batch failed its CRC/length checks: transport corruption.
+
+        Tolerated, not fatal: the batch is discarded and the shipper's
+        retransmit timer re-sends it intact.
+        """
+        self.transport_errors.append(detail)
+
+    def check(self, ck_end: int, primary_digests: np.ndarray) -> DivergenceReport:
+        """Compare the replica's content folds against a published epoch.
+
+        Called while the replica has applied exactly the records below
+        ``ck_end`` (the shipper sequences the digest batch after every
+        frame of that prefix), so a clean comparison certifies that both
+        images are byte-equivalent at the epoch.
+        """
+        maintainer = self.replica.db.pipeline.maintainer
+        mine = maintainer.region_digests()
+        primary_digests = np.asarray(primary_digests, dtype=np.uint32)
+        n = min(len(mine), len(primary_digests))
+        mismatched = tuple(
+            int(r) for r in np.nonzero(mine[:n] != primary_digests[:n])[0]
+        )
+        replica_side: tuple[int, ...] = ()
+        primary_side: tuple[int, ...] = ()
+        classification = "clean"
+        if mismatched:
+            convicted = set(maintainer.audit_regions(list(mismatched)))
+            replica_side = tuple(r for r in mismatched if r in convicted)
+            primary_side = tuple(r for r in mismatched if r not in convicted)
+            if replica_side and primary_side:
+                classification = "both"
+            elif replica_side:
+                classification = "replica"
+            else:
+                classification = "primary"
+            if replica_side and self.replica.db.quarantine_enabled:
+                # The replica's own bytes are corrupt: fence them exactly
+                # like a failed local audit would, so reads degrade (or
+                # transparently repair) instead of serving garbage.
+                maintainer.quarantine(replica_side)
+        self.epochs_checked += 1
+        report = DivergenceReport(
+            ck_end=ck_end,
+            regions_compared=n,
+            mismatched_regions=mismatched,
+            replica_side=replica_side,
+            primary_side=primary_side,
+            classification=classification,
+        )
+        self.reports.append(report)
+        return report
+
+    @property
+    def diverged(self) -> list[DivergenceReport]:
+        return [r for r in self.reports if not r.clean]

@@ -1,0 +1,172 @@
+"""The ship transport: an in-memory network with armable faults.
+
+Log shipping crosses a boundary the storage manager does not control, so
+the transport is modelled the way the fault campaign needs it: batches
+are sequence-numbered, CRC-framed blobs, and the channel itself can be
+armed to drop, duplicate, reorder or tear the next batch it carries.
+The shipper/replica protocol (bounded in-flight window, cumulative acks,
+retransmit on timeout, LSN idempotence) must survive all four -- that is
+what the replication campaign scores.
+
+A :class:`ShipBatch` is self-verifying: the CRC covers header and
+payload, so a torn or bit-flipped batch fails :meth:`ShipBatch.decode`
+at the receiver and is discarded (the shipper's timeout retransmits it).
+RECORDS payloads are verbatim stable-log frames
+(:meth:`~repro.wal.system_log.SystemLog.export_frames`), each carrying
+its *own* frame CRC as a second, end-to-end layer.
+"""
+
+from __future__ import annotations
+
+import struct
+import zlib
+from dataclasses import dataclass
+
+from repro.errors import ConfigError, ReplicationError
+
+#: Batch kinds.
+KIND_RECORDS = 0  #: payload = raw stable-log frames [first_lsn, first_lsn+count)
+KIND_DIGEST = 1  #: payload = u32-LE per-region digests for epoch ``first_lsn``
+
+_HEADER = struct.Struct("<QBQII")  # seq, kind, first_lsn, count, payload_len
+_CRC = struct.Struct("<I")
+
+#: Faults the transport can be armed with (one-shot, applied to the next
+#: :meth:`ShipTransport.send`).
+FAULT_KINDS = ("drop", "duplicate", "reorder", "tear")
+
+
+@dataclass(frozen=True)
+class ShipBatch:
+    """One unit of shipping: sequence-numbered, kind-tagged, CRC-framed."""
+
+    seq: int
+    kind: int
+    #: RECORDS: LSN of the first frame in the payload.
+    #: DIGEST: the epoch's ``CK_end``.
+    first_lsn: int
+    #: RECORDS: number of frames.  DIGEST: number of regions.
+    record_count: int
+    payload: bytes
+
+    def encode(self) -> bytes:
+        head = _HEADER.pack(
+            self.seq, self.kind, self.first_lsn, self.record_count, len(self.payload)
+        )
+        crc = zlib.crc32(self.payload, zlib.crc32(head))
+        return head + self.payload + _CRC.pack(crc)
+
+    @staticmethod
+    def decode(data: bytes) -> "ShipBatch":
+        """Decode and verify one batch; raises on any damage.
+
+        A failure here is *transport* corruption by definition: the
+        sender computed the CRC over exactly what it meant to send.
+        """
+        if len(data) < _HEADER.size + _CRC.size:
+            raise ReplicationError(
+                f"ship batch truncated: {len(data)} bytes is below the "
+                f"{_HEADER.size + _CRC.size}-byte minimum"
+            )
+        seq, kind, first_lsn, count, payload_len = _HEADER.unpack_from(data, 0)
+        end = _HEADER.size + payload_len
+        if len(data) != end + _CRC.size:
+            raise ReplicationError(
+                f"ship batch length mismatch: header declares {payload_len} "
+                f"payload bytes, got {len(data) - _HEADER.size - _CRC.size}"
+            )
+        payload = data[_HEADER.size : end]
+        (crc,) = _CRC.unpack_from(data, end)
+        if crc != zlib.crc32(payload, zlib.crc32(data[: _HEADER.size])):
+            raise ReplicationError(f"ship batch {seq} failed its CRC check")
+        if kind not in (KIND_RECORDS, KIND_DIGEST):
+            raise ReplicationError(f"unknown ship batch kind {kind}")
+        return ShipBatch(seq, kind, first_lsn, count, payload)
+
+
+class ShipTransport:
+    """A one-way channel from shipper to replica, with armable faults.
+
+    Delivery is pull-based: the shipper's pump calls :meth:`deliver` to
+    hand everything currently "in the network" to the receiver.  Faults
+    are one-shot and apply to the next :meth:`send`:
+
+    * ``drop`` -- the batch vanishes (the retransmit timer recovers it);
+    * ``duplicate`` -- the batch arrives twice (seq dedup absorbs it);
+    * ``reorder`` -- the batch is held back and released *after* the next
+      batch sent (the receiver's reorder buffer restores order; if no
+      later batch comes, the hold degrades to a delay);
+    * ``tear`` -- a truncated prefix arrives (the CRC frame rejects it,
+      the retransmit timer recovers it).
+    """
+
+    def __init__(self) -> None:
+        self._queue: list[bytes] = []
+        self._plan: list[str] = []
+        self._held: bytes | None = None
+        self.sent = 0
+        self.delivered = 0
+        #: ``(fault_kind, seq)`` of every fault actually applied.
+        self.faults_applied: list[tuple[str, int]] = []
+
+    def arm_fault(self, kind: str) -> None:
+        """Queue a one-shot fault for an upcoming :meth:`send`."""
+        if kind not in FAULT_KINDS:
+            raise ConfigError(
+                f"unknown transport fault {kind!r}; known: {FAULT_KINDS}"
+            )
+        self._plan.append(kind)
+
+    def send(self, batch: ShipBatch) -> None:
+        data = batch.encode()
+        self.sent += 1
+        fault = self._plan.pop(0) if self._plan else None
+        if self._held is not None:
+            # Release the held batch *after* this one: the reorder.
+            held, self._held = self._held, None
+            self._apply_send(data, fault, batch.seq)
+            self._queue.append(held)
+            return
+        self._apply_send(data, fault, batch.seq)
+
+    def _apply_send(self, data: bytes, fault: str | None, seq: int) -> None:
+        if fault is not None:
+            self.faults_applied.append((fault, seq))
+        if fault == "drop":
+            return
+        if fault == "duplicate":
+            self._queue.append(data)
+            self._queue.append(data)
+            return
+        if fault == "tear":
+            self._queue.append(data[: max(1, len(data) // 2)])
+            return
+        if fault == "reorder":
+            self._held = data
+            return
+        self._queue.append(data)
+
+    def deliver(self) -> list[bytes]:
+        """Drain everything currently deliverable, in network order.
+
+        A batch still held for reordering stays held only while a later
+        send can overtake it mid-pump; at delivery time it goes out too
+        (the fault degrades to a delay of one pump).
+        """
+        out = self._queue
+        self._queue = []
+        if self._held is not None:
+            out.append(self._held)
+            self._held = None
+        self.delivered += len(out)
+        return out
+
+    @property
+    def in_network(self) -> int:
+        return len(self._queue) + (1 if self._held is not None else 0)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"ShipTransport(sent={self.sent}, delivered={self.delivered}, "
+            f"queued={self.in_network}, faults={self.faults_applied})"
+        )

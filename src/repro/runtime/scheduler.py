@@ -38,7 +38,10 @@ THREADED = "threaded"
 #: Trigger points a tick task may subscribe to.  ``"interval"`` only
 #: fires in threaded mode (from the ticker thread) -- deterministic mode
 #: has no wall-clock, so interval tasks are inert there by design.
-TICK_EVENTS = ("commit", "checkpoint", "interval")
+#: ``"replay"`` fires on a replica after each applied ship batch (its
+#: commits happen on the primary, so replayed work needs its own program
+#: point for audit cadence and ship-pump tasks).
+TICK_EVENTS = ("commit", "checkpoint", "interval", "replay")
 
 
 class TaskHandle:

@@ -39,6 +39,9 @@ OPS = (
     "query",
 )
 
+#: Ops a read-only session (an unpromoted replica) rejects.
+MUTATING_OPS = frozenset({"insert", "update", "delete"})
+
 
 @dataclass(frozen=True)
 class Request:

@@ -54,12 +54,16 @@ class Server:
         *,
         queue_depth: int = 64,
         workers: int = 4,
+        read_only: bool = False,
     ) -> None:
         if queue_depth < 1:
             raise ServeError(f"queue_depth must be >= 1: {queue_depth}")
         if workers < 1:
             raise ServeError(f"workers must be >= 1: {workers}")
         self.db = db
+        #: A replica front-end: every session rejects mutating ops until
+        #: :meth:`promote_to_primary` flips the flag after failover.
+        self.read_only = read_only
         self.threaded = (
             db.scheduler is not None and db.scheduler.mode == THREADED
         )
@@ -87,10 +91,23 @@ class Server:
         with self._guard:
             if self._closed:
                 raise ServeError("server is closed")
-            session = Session(self.db, self._next_session_id)
+            session = Session(
+                self.db, self._next_session_id, read_only=self.read_only
+            )
             self._next_session_id += 1
             self._sessions[session.session_id] = session
             return session
+
+    def promote_to_primary(self) -> None:
+        """After a certified failover, start admitting writes.
+
+        Existing sessions flip too: the promotion point is a state
+        change of the node, not of individual connections.
+        """
+        with self._guard:
+            self.read_only = False
+            for session in self._sessions.values():
+                session.read_only = False
 
     def close_session(self, session: Session) -> None:
         session.close()

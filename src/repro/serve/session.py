@@ -18,7 +18,7 @@ import threading
 from typing import TYPE_CHECKING
 
 from repro.errors import ReproError, ServeError, SimulatedCrash
-from repro.serve.protocol import OPS, Request, Response
+from repro.serve.protocol import MUTATING_OPS, OPS, Request, Response
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.storage.database import Database
@@ -28,9 +28,14 @@ if TYPE_CHECKING:  # pragma: no cover
 class Session:
     """One client's view of the database."""
 
-    def __init__(self, db: "Database", session_id: int) -> None:
+    def __init__(
+        self, db: "Database", session_id: int, read_only: bool = False
+    ) -> None:
         self.db = db
         self.session_id = session_id
+        #: Read-only sessions (a hot standby serving reads before
+        #: promotion) reject every mutating op with a contained error.
+        self.read_only = read_only
         self.txn: "Transaction | None" = None
         self.closed = False
         self._serial = threading.Lock()
@@ -62,6 +67,11 @@ class Session:
         op = request.op
         if op not in OPS:
             raise ServeError(f"unknown op {op!r}")
+        if self.read_only and op in MUTATING_OPS:
+            raise ServeError(
+                f"op {op!r} rejected: session {self.session_id} is "
+                "read-only (replica not promoted)"
+            )
         if op == "begin":
             if self.txn is not None:
                 raise ServeError(

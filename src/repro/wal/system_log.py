@@ -39,6 +39,31 @@ _LSN_HEADER = struct.Struct("<Q")
 _SKIP_ALL = frozenset()
 
 
+def decode_frames(payload: bytes) -> Iterator[tuple[int, LogRecord]]:
+    """Decode exported frame bytes into ``(lsn, record)`` pairs.
+
+    Strict: a truncated header, bad CRC or non-ascending LSN raises
+    :class:`~repro.errors.LogError`.  Used by the replica to turn a
+    shipped batch into replayable records (and to reject corrupt batches
+    before a single byte lands in its log).
+    """
+    view = memoryview(payload)
+    size = len(view)
+    offset = 0
+    previous_lsn = -1
+    while offset < size:
+        if offset + 8 > size:
+            raise LogError("truncated LSN header in shipped frames")
+        (lsn,) = _LSN_HEADER.unpack_from(view, offset)
+        record, offset = decode_record(view, offset + 8, None)
+        if lsn <= previous_lsn:
+            raise LogError(
+                f"shipped frame LSNs out of order: {lsn} after {previous_lsn}"
+            )
+        previous_lsn = lsn
+        yield lsn, record
+
+
 class SystemLog:
     """System log tail + stable log file."""
 
@@ -239,6 +264,102 @@ class SystemLog:
             # A clean full traversal counted every frame; repair the
             # counter for free.
             self._stable_count = frames
+
+    def export_frames(
+        self,
+        from_lsn: int,
+        max_records: int | None = None,
+        up_to_lsn: int | None = None,
+    ) -> tuple[bytes, int, int]:
+        """Raw stable-log frames with ``from_lsn <= lsn < up_to_lsn``.
+
+        Returns ``(payload, first_lsn, count)`` where ``payload`` is the
+        verbatim on-disk bytes (``u64 lsn`` header + CRC-framed record,
+        per frame) of up to ``max_records`` consecutive frames.  This is
+        the log-shipping export: the bytes are copied as-is, so a replica
+        ingesting them ends with a byte-identical stable log suffix, and
+        every frame still carries its own CRC for end-to-end verification.
+        The skipped prefix is CRC-checked but never constructed; a torn
+        tail is never exported.  ``first_lsn`` is ``-1`` when nothing
+        qualifies.
+        """
+        if not os.path.exists(self.path):
+            return b"", -1, 0
+        with open(self.path, "rb") as handle:
+            data = handle.read()
+        view = memoryview(data)
+        size = len(view)
+        offset = 0
+        start_offset = None
+        first_lsn = -1
+        count = 0
+        unpack_lsn = _LSN_HEADER.unpack_from
+        while offset + 8 <= size:
+            (lsn,) = unpack_lsn(view, offset)
+            if up_to_lsn is not None and lsn >= up_to_lsn:
+                break
+            if max_records is not None and count >= max_records:
+                break
+            try:
+                _record, next_offset = decode_record(view, offset + 8, _SKIP_ALL)
+            except LogError:
+                break  # torn tail: not shippable until truncated
+            if lsn >= from_lsn:
+                if start_offset is None:
+                    start_offset = offset
+                    first_lsn = lsn
+                count += 1
+            offset = next_offset
+        if start_offset is None:
+            return b"", -1, 0
+        payload = bytes(data[start_offset:offset])
+        del view
+        return payload, first_lsn, count
+
+    def ingest_frames(self, payload: bytes, first_lsn: int) -> int:
+        """Append exported frames verbatim; returns the new end-of-stable LSN.
+
+        The receive half of log shipping: ``payload`` must be bytes from
+        :meth:`export_frames`, starting exactly at this log's
+        :attr:`next_lsn` (dense LSNs are the idempotence key -- callers
+        drop already-ingested frames before calling).  Every frame is
+        CRC-verified and LSN-checked *before* any byte is written, so a
+        corrupt or mis-sequenced batch leaves the file untouched.  The
+        tail must be empty: a replica's log only ever grows by ingestion
+        until promotion.
+        """
+        frames = list(decode_frames(payload))
+        if not frames:
+            return self.end_of_stable_lsn
+        with self.latch.exclusive():
+            self.meter.charge("latch_pair")
+            with self._tail_lock:
+                if self.tail:
+                    raise LogError(
+                        "cannot ingest frames into a log with a live tail"
+                    )
+                if first_lsn != self.next_lsn or frames[0][0] != first_lsn:
+                    raise LogError(
+                        f"ingest expects frames starting at LSN {self.next_lsn}, "
+                        f"got {frames[0][0]} (declared {first_lsn})"
+                    )
+                expected = first_lsn
+                for lsn, _record in frames:
+                    if lsn != expected:
+                        raise LogError(
+                            f"ingested frames not dense: expected LSN "
+                            f"{expected}, got {lsn}"
+                        )
+                    expected += 1
+                self.meter.charge("flush_fixed")
+                self._file.write(payload)
+                self._file.flush()
+                self.meter.charge("flush_byte", len(payload))
+                if self._stable_count is not None:
+                    self._stable_count += len(frames)
+                self.next_lsn = expected
+                self.end_of_stable_lsn = expected
+                return self.end_of_stable_lsn
 
     def truncate_before(self, lsn: int) -> int:
         """Drop stable records with LSNs below ``lsn``; returns the count.
