@@ -12,401 +12,42 @@ Usage::
     python -m repro.bench --serving       # concurrent-session throughput/latency
     python -m repro.bench --serving --serving-quick   # CI smoke variant
     python -m repro.bench --replication   # hot-standby detection/failover gate
+    python -m repro.bench --sharded       # shard-per-core scale-up curves
+
+Each suite registers its flags, selection predicate and runner as a
+:class:`repro.bench.suites.Suite`; this module only assembles the
+registry, so a new suite is one import plus one tuple entry.
 """
 
 from __future__ import annotations
 
-import argparse
-import os
-import shutil
-import tempfile
-
-from repro.bench.harness import (
-    RunResult,
-    SchemeSpec,
-    STACKED_ROWS,
-    TABLE2_ROWS,
-    run_scheme,
+from repro.bench.replication import REPLICATION_SUITE
+from repro.bench.serving import SERVING_SUITE
+from repro.bench.sharded import SHARDED_SUITE
+from repro.bench.suites import dispatch
+from repro.bench.tables import (  # noqa: F401 - re-exported for callers
+    PROFILE_SUITE,
+    TABLES_SUITE,
+    print_fault_campaign,
+    print_profile,
+    print_region_sweep,
+    print_table1,
+    print_table2,
 )
-from repro.bench.platforms import PLATFORMS, mprotect_microbenchmark
-from repro.bench.reporting import (
-    bench_json_payload,
-    render_table,
-    render_table1,
-    render_table2,
-    write_bench_json,
+
+#: Argument-registration order (= --help order); TABLES_SUITE is the
+#: default and runs when no other suite's flag is present.
+SUITES = (
+    TABLES_SUITE,
+    SERVING_SUITE,
+    REPLICATION_SUITE,
+    SHARDED_SUITE,
+    PROFILE_SUITE,
 )
-from repro.bench.tpcb import TPCBConfig
-
-
-def print_table1() -> dict[str, float]:
-    measured = {
-        name: mprotect_microbenchmark(profile)
-        for name, profile in PLATFORMS.items()
-    }
-    print(render_table1(measured))
-    return measured
-
-
-def print_table2(scale: float, stacked: bool = False) -> list[RunResult]:
-    workload = TPCBConfig().scaled(scale)
-    print(
-        f"TPC-B at scale {scale}: {workload.accounts:,} accounts, "
-        f"{workload.operations:,} operations\n"
-    )
-    rows = TABLE2_ROWS + STACKED_ROWS if stacked else TABLE2_ROWS
-    workdir = tempfile.mkdtemp(prefix="repro-bench-")
-    try:
-        results = []
-        baseline = None
-        for spec in rows:
-            result = run_scheme(
-                spec, workload, os.path.join(workdir, spec.scheme_dir())
-            )
-            if baseline is None:
-                baseline = result.ops_per_sec
-                result.slowdown_pct = 0.0
-            else:
-                result.slowdown_pct = 100.0 * (1.0 - result.ops_per_sec / baseline)
-            results.append(result)
-        print(render_table2(results))
-        return results
-    finally:
-        shutil.rmtree(workdir)
-
-
-def print_region_sweep(scale: float) -> None:
-    workload = TPCBConfig().scaled(scale)
-    workdir = tempfile.mkdtemp(prefix="repro-sweep-")
-    try:
-        baseline = run_scheme(
-            SchemeSpec("Baseline", "baseline"),
-            workload,
-            os.path.join(workdir, "baseline"),
-        )
-        rows = []
-        for size in (32, 64, 128, 256, 512, 1024, 2048, 4096, 8192):
-            spec = SchemeSpec(f"{size} B", "precheck", {"region_size": size})
-            result = run_scheme(
-                spec, workload, os.path.join(workdir, spec.scheme_dir())
-            )
-            slowdown = 100.0 * (1.0 - result.ops_per_sec / baseline.ops_per_sec)
-            rows.append(
-                [
-                    f"{size} B",
-                    f"{result.ops_per_sec:,.0f}",
-                    f"{slowdown:.1f}%",
-                    f"{result.space_overhead_pct:.3f}%",
-                ]
-            )
-        print(
-            render_table(
-                ["Region size", "Ops/Sec", "% Slower", "Space overhead"],
-                rows,
-                title="Read Prechecking region-size sweep",
-            )
-        )
-    finally:
-        shutil.rmtree(workdir)
-
-
-def print_profile(scale: float, scheme: str, top: int) -> None:
-    """cProfile one TPC-B run; print the top-N cumulative-time entries.
-
-    Answers "where do the update cycles actually go" for the write-path
-    work: run under ``--profile`` before and after flipping
-    ``update_batch`` / ``image_backing`` to see which frames moved.
-    """
-    import cProfile
-    import pstats
-
-    workload = TPCBConfig().scaled(scale)
-    workdir = tempfile.mkdtemp(prefix="repro-profile-")
-    spec = SchemeSpec("profiled", scheme)
-    profiler = cProfile.Profile()
-    try:
-        profiler.enable()
-        result = run_scheme(spec, workload, os.path.join(workdir, "db"))
-        profiler.disable()
-    finally:
-        shutil.rmtree(workdir, ignore_errors=True)
-    print(
-        f"cProfile of one TPC-B run: scheme={scheme}, scale={scale} "
-        f"({workload.operations:,} operations, "
-        f"{result.ops_per_sec:,.0f} virtual ops/sec)\n"
-    )
-    stats = pstats.Stats(profiler)
-    stats.sort_stats("cumulative").print_stats(top)
-
-
-def print_fault_campaign(
-    seeds: tuple[int, ...],
-    schemes: tuple[str, ...],
-    schedules: int,
-    ops: int,
-    image_backing: str = "heap",
-):
-    """Run a seeded fault campaign and print its scoreboard."""
-    from repro.faults.campaign import CampaignSpec, run_campaign
-
-    spec = CampaignSpec(
-        seeds=seeds,
-        schemes=schemes,
-        schedules_per_config=schedules,
-        ops_per_schedule=ops,
-        image_backing=image_backing,
-    )
-    workdir = tempfile.mkdtemp(prefix="repro-faults-")
-    try:
-        result = run_campaign(spec, workdir)
-    finally:
-        shutil.rmtree(workdir, ignore_errors=True)
-    board = result.scoreboard()
-    rows = []
-    for scheme, row in board.items():
-        latency = row["mean_detection_latency_ops"]
-        rows.append(
-            [
-                scheme,
-                str(row["schedules"]),
-                str(row["direct_faults"]),
-                str(row["detected"]),
-                str(row["erased"]),
-                str(row["false_negatives"]),
-                "-" if latency is None else f"{latency:.2f}",
-                f"{row['repairs_ok']}/{row['repairs']}",
-                f"{row['values_ok']}/{row['schedules']}",
-                str(row["quarantine_blocked_reads"]),
-                str(row["quarantine_served_garbage"]),
-            ]
-        )
-    print(
-        render_table(
-            [
-                "Scheme",
-                "Runs",
-                "Direct",
-                "Detected",
-                "Erased",
-                "FalseNeg",
-                "Latency(ops)",
-                "Repairs",
-                "Values",
-                "Blocked",
-                "Garbage",
-            ],
-            rows,
-            title=(
-                f"Fault campaign: {result.spec.total_schedules} schedules "
-                f"({len(spec.seeds)} seeds x {len(spec.schemes)} schemes x "
-                f"{spec.schedules_per_config}, "
-                f"image_backing={spec.image_backing})"
-            ),
-        )
-    )
-    if result.errors:
-        print(f"\n{len(result.errors)} schedule(s) raised unexpected errors:")
-        for o in result.errors:
-            print(f"  {o.scheme} seed={o.seed} idx={o.index}: {o.error}")
-    if result.false_negatives:
-        print(f"\nFALSE NEGATIVES: {len(result.false_negatives)}")
-    if result.garbage_served:
-        print(f"\nQUARANTINE SERVED GARBAGE: {len(result.garbage_served)}")
-    return result
 
 
 def main(argv: list[str] | None = None) -> int:
-    parser = argparse.ArgumentParser(
-        prog="python -m repro.bench",
-        description="Regenerate the tables of the ICDE 1999 codeword paper.",
-    )
-    parser.add_argument(
-        "--table",
-        choices=["1", "2", "all", "none"],
-        default="all",
-        help="which table to reproduce (default: all; 'none' skips tables, "
-        "e.g. for a --faults-only run)",
-    )
-    parser.add_argument(
-        "--scale",
-        type=float,
-        default=0.02,
-        help="TPC-B scale factor; 1.0 = the paper's 100k accounts (default 0.02)",
-    )
-    parser.add_argument(
-        "--stacked",
-        action="store_true",
-        help="append the stacked-pipeline rows (e.g. data_cw+read_logging) "
-        "to Table 2",
-    )
-    parser.add_argument(
-        "--sweep",
-        action="store_true",
-        help="also print the region-size ablation sweep",
-    )
-    parser.add_argument(
-        "--json",
-        metavar="PATH",
-        default=None,
-        help="also write the reproduced tables as machine-readable JSON "
-        "(a BENCH_*.json perf-trajectory artifact)",
-    )
-    parser.add_argument(
-        "--faults",
-        action="store_true",
-        help="run the seeded crash/fault campaign and print its detection/"
-        "repair scoreboard (exit 1 on any false negative or quarantined "
-        "read served as data)",
-    )
-    parser.add_argument(
-        "--faults-seeds",
-        default="1,2,3",
-        help="comma-separated campaign seeds (default: 1,2,3)",
-    )
-    parser.add_argument(
-        "--faults-schemes",
-        default=None,
-        help="comma-separated scheme stacks for the campaign (default: "
-        "data_codeword,read_precheck,read_logging,data_cw+cw_read_logging)",
-    )
-    parser.add_argument(
-        "--faults-schedules",
-        type=int,
-        default=17,
-        help="randomized schedules per (seed, scheme) pair (default: 17)",
-    )
-    parser.add_argument(
-        "--faults-ops",
-        type=int,
-        default=24,
-        help="workload operations per schedule (default: 24)",
-    )
-    parser.add_argument(
-        "--faults-backing",
-        choices=["heap", "mmap"],
-        default="heap",
-        help="memory-image backing for campaign databases (default: heap)",
-    )
-    parser.add_argument(
-        "--serving",
-        action="store_true",
-        help="run the concurrent-serving benchmark (threaded scheduler, "
-        "N sessions over one protected image): throughput + p50/p99 "
-        "latency vs client count, with/without group commit, plus a "
-        "fault campaign under concurrency (exit 1 on any false negative)",
-    )
-    parser.add_argument(
-        "--serving-quick",
-        action="store_true",
-        help="shrink the --serving matrix for CI smoke runs",
-    )
-    parser.add_argument(
-        "--serving-json",
-        metavar="PATH",
-        default="BENCH_serving.json",
-        help="where --serving writes its JSON artifact "
-        "(default: BENCH_serving.json)",
-    )
-    parser.add_argument(
-        "--replication",
-        action="store_true",
-        help="run the two-node replication campaign (log-shipped hot "
-        "standby, independent replica audits, certified failover): exit 1 "
-        "on any false negative, untolerated transport fault, uncertified "
-        "promotion, or lost-commit window past the ship window bound",
-    )
-    parser.add_argument(
-        "--replication-quick",
-        action="store_true",
-        help="shrink the --replication campaign to one seed for CI smoke "
-        "runs (also via REPL_BENCH_QUICK=1)",
-    )
-    parser.add_argument(
-        "--replication-json",
-        metavar="PATH",
-        default="BENCH_replication.json",
-        help="where --replication writes its JSON artifact "
-        "(default: BENCH_replication.json)",
-    )
-    parser.add_argument(
-        "--profile",
-        action="store_true",
-        help="cProfile one TPC-B run and print the hottest frames by "
-        "cumulative time (see --profile-scheme / --profile-top)",
-    )
-    parser.add_argument(
-        "--profile-scheme",
-        default="data_cw",
-        help="scheme for the --profile run (default: data_cw)",
-    )
-    parser.add_argument(
-        "--profile-top",
-        type=int,
-        default=25,
-        help="entries of the --profile report to print (default: 25)",
-    )
-    args = parser.parse_args(argv)
-
-    if args.profile:
-        print_profile(args.scale, args.profile_scheme, args.profile_top)
-        return 0
-
-    if args.serving:
-        from repro.bench.serving import run_serving_benchmark
-
-        return run_serving_benchmark(args.serving_json, quick=args.serving_quick)
-
-    if args.replication:
-        from repro.bench.replication import run_replication_benchmark
-
-        # --json alongside --replication merges the detection-latency
-        # percentiles into the generic artifact as well.
-        return run_replication_benchmark(
-            args.replication_json,
-            quick=args.replication_quick,
-            merge_json=args.json,
-        )
-
-    table1 = None
-    table2 = None
-    campaign = None
-    if args.table in ("1", "all"):
-        table1 = print_table1()
-        print()
-    if args.table in ("2", "all"):
-        table2 = print_table2(args.scale, stacked=args.stacked)
-    if args.sweep:
-        print()
-        print_region_sweep(args.scale)
-    if args.faults:
-        if args.table != "none":
-            print()
-        from repro.faults.campaign import DEFAULT_SCHEMES
-
-        schemes = (
-            tuple(s for s in args.faults_schemes.split(",") if s)
-            if args.faults_schemes
-            else DEFAULT_SCHEMES
-        )
-        seeds = tuple(int(s) for s in args.faults_seeds.split(",") if s)
-        campaign = print_fault_campaign(
-            seeds,
-            schemes,
-            args.faults_schedules,
-            args.faults_ops,
-            image_backing=args.faults_backing,
-        )
-    if args.json:
-        payload = bench_json_payload(table1=table1, table2=table2, scale=args.scale)
-        if campaign is not None:
-            payload["faults"] = campaign.to_payload()
-        write_bench_json(args.json, payload)
-        print(f"\nwrote {args.json}")
-    if campaign is not None and (
-        campaign.false_negatives or campaign.garbage_served or campaign.errors
-    ):
-        return 1
-    return 0
+    return dispatch(SUITES, argv)
 
 
 if __name__ == "__main__":

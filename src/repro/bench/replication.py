@@ -214,3 +214,50 @@ def run_replication_benchmark(
     finally:
         if base_dir is None:
             shutil.rmtree(workdir, ignore_errors=True)
+
+
+# --------------------------------------------------------- registration
+
+
+def _add_arguments(parser) -> None:
+    parser.add_argument(
+        "--replication",
+        action="store_true",
+        help="run the two-node replication campaign (log-shipped hot "
+        "standby, independent replica audits, certified failover): exit 1 "
+        "on any false negative, untolerated transport fault, uncertified "
+        "promotion, or lost-commit window past the ship window bound",
+    )
+    parser.add_argument(
+        "--replication-quick",
+        action="store_true",
+        help="shrink the --replication campaign to one seed for CI smoke "
+        "runs (also via REPL_BENCH_QUICK=1)",
+    )
+    parser.add_argument(
+        "--replication-json",
+        metavar="PATH",
+        default="BENCH_replication.json",
+        help="where --replication writes its JSON artifact "
+        "(default: BENCH_replication.json)",
+    )
+
+
+def _run(args) -> int:
+    # --json alongside --replication merges the detection-latency
+    # percentiles into the generic artifact as well.
+    return run_replication_benchmark(
+        args.replication_json,
+        quick=args.replication_quick,
+        merge_json=args.json,
+    )
+
+
+from repro.bench.suites import Suite  # noqa: E402 - registration footer
+
+REPLICATION_SUITE = Suite(
+    name="replication",
+    add_arguments=_add_arguments,
+    run=_run,
+    selected=lambda args: args.replication,
+)

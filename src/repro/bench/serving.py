@@ -103,7 +103,11 @@ def _percentile(sorted_values: list[float], fraction: float) -> float:
 
 
 def _make_db(
-    workdir: str, config: ServingConfig, group: int, slots_needed: int
+    workdir: str,
+    config: ServingConfig,
+    group: int,
+    slots_needed: int,
+    quarantine_repair: bool = False,
 ) -> Database:
     db_config = DBConfig(
         dir=workdir,
@@ -111,6 +115,8 @@ def _make_db(
         scheme_params={"region_size": config.region_size},
         group_commit_size=group,
         scheduler_mode="threaded",
+        quarantine=quarantine_repair,
+        quarantine_repair=quarantine_repair,
     )
     db = Database(db_config)
     capacity = max(64, 2 * slots_needed)
@@ -218,7 +224,15 @@ def run_serving_fault_campaign(base_dir: str, config: ServingConfig) -> dict:
     clients = max(config.client_counts)
     workdir = os.path.join(base_dir, "faults")
     # Twice the slots: the top half stays cold (traffic never touches it).
-    db = _make_db(workdir, config, max(config.group_commit_sizes), 2 * clients)
+    # Quarantine + repair is on so the campaign reports the full detect ->
+    # quarantine -> repair -> re-certify arc, not just detection.
+    db = _make_db(
+        workdir,
+        config,
+        max(config.group_commit_sizes),
+        2 * clients,
+        quarantine_repair=True,
+    )
     server = Server(db, queue_depth=max(64, 2 * clients), workers=config.workers)
     try:
         injector = FaultInjector(db, seed=97)
@@ -251,6 +265,14 @@ def run_serving_fault_campaign(base_dir: str, config: ServingConfig) -> dict:
             for event in injector.events
         ]
         false_negatives = detected.count(False)
+        # The detection audit is *supposed* to be dirty -- it just found
+        # the injected corruption (`audit_clean: false` here is success,
+        # not failure).  Make the report self-describing: the corrupt
+        # regions are quarantined by that audit, repaired from checkpoint
+        # + log, and a second audit certifies the repaired image.
+        quarantined = len(db.quarantined_regions())
+        repaired = db.repair_quarantined()
+        post_repair = db.audit()
         return {
             "clients": clients,
             "txns": clients * config.txns_per_client,
@@ -258,8 +280,13 @@ def run_serving_fault_campaign(base_dir: str, config: ServingConfig) -> dict:
             "injected": len(injector.events),
             "detected": detected.count(True),
             "false_negatives": false_negatives,
-            "audit_clean": report.clean,
+            # Detection-time audit state: clean=False means the injected
+            # corruption was caught (zero FN), not that the bench failed.
+            "detection_audit_clean": report.clean,
             "corrupt_regions": len(report.corrupt_regions),
+            "quarantined_regions": quarantined,
+            "repaired_regions": repaired,
+            "post_repair_audit_clean": post_repair.clean,
         }
     finally:
         server.close()
@@ -319,7 +346,10 @@ def run_serving_benchmark(
             f"Fault campaign under {campaign['clients']} concurrent sessions: "
             f"{campaign['injected']} wild writes into cold regions, "
             f"{campaign['detected']} detected, "
-            f"{campaign['false_negatives']} false negatives."
+            f"{campaign['false_negatives']} false negatives; "
+            f"{campaign['quarantined_regions']} regions quarantined, "
+            f"{campaign['repaired_regions']} repaired, post-repair audit "
+            f"clean={campaign['post_repair_audit_clean']}."
         )
         if json_path:
             write_bench_json(
@@ -333,3 +363,43 @@ def run_serving_benchmark(
     finally:
         if base_dir is None:
             shutil.rmtree(workdir, ignore_errors=True)
+
+
+# --------------------------------------------------------- registration
+
+
+def _add_arguments(parser) -> None:
+    parser.add_argument(
+        "--serving",
+        action="store_true",
+        help="run the concurrent-serving benchmark (threaded scheduler, "
+        "N sessions over one protected image): throughput + p50/p99 "
+        "latency vs client count, with/without group commit, plus a "
+        "fault campaign under concurrency (exit 1 on any false negative)",
+    )
+    parser.add_argument(
+        "--serving-quick",
+        action="store_true",
+        help="shrink the --serving matrix for CI smoke runs",
+    )
+    parser.add_argument(
+        "--serving-json",
+        metavar="PATH",
+        default="BENCH_serving.json",
+        help="where --serving writes its JSON artifact "
+        "(default: BENCH_serving.json)",
+    )
+
+
+def _run(args) -> int:
+    return run_serving_benchmark(args.serving_json, quick=args.serving_quick)
+
+
+from repro.bench.suites import Suite  # noqa: E402 - registration footer
+
+SERVING_SUITE = Suite(
+    name="serving",
+    add_arguments=_add_arguments,
+    run=_run,
+    selected=lambda args: args.serving,
+)

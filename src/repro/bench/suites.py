@@ -1,0 +1,61 @@
+"""Per-suite registration for the ``python -m repro.bench`` CLI.
+
+Each benchmark suite (the paper tables, the serving matrix, the
+replication campaign, the sharded scale-up, ...) registers itself as a
+:class:`Suite`: a bundle of argparse flags, a selection predicate, and a
+runner.  ``__main__`` just assembles the registered suites and calls
+:func:`dispatch` -- adding a new suite is a registration, not another
+``elif`` arm in a 400-line main.
+"""
+
+from __future__ import annotations
+
+import argparse
+from dataclasses import dataclass
+from typing import Callable
+
+
+@dataclass(frozen=True)
+class Suite:
+    """One selectable benchmark suite of the CLI.
+
+    ``add_arguments`` contributes the suite's flags to the shared parser.
+    ``selected`` decides (from the parsed namespace) whether this suite
+    runs; the single suite registered with ``selected=None`` is the
+    default, picked when no other suite claims the invocation.  ``run``
+    returns the process exit code.
+    """
+
+    name: str
+    add_arguments: Callable[[argparse.ArgumentParser], None]
+    run: Callable[[argparse.Namespace], int]
+    selected: Callable[[argparse.Namespace], bool] | None = None
+
+
+def build_parser(suites: tuple[Suite, ...]) -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.bench",
+        description="Regenerate the tables of the ICDE 1999 codeword paper.",
+    )
+    for suite in suites:
+        suite.add_arguments(parser)
+    return parser
+
+
+def dispatch(suites: tuple[Suite, ...], argv: list[str] | None = None) -> int:
+    """Parse ``argv`` and run the first selected suite (or the default)."""
+    args = build_parser(suites).parse_args(argv)
+    default: Suite | None = None
+    for suite in suites:
+        if suite.selected is None:
+            if default is not None:
+                raise ValueError(
+                    f"two default suites: {default.name!r} and {suite.name!r}"
+                )
+            default = suite
+            continue
+        if suite.selected(args):
+            return suite.run(args)
+    if default is None:
+        raise ValueError("no suite selected and no default registered")
+    return default.run(args)

@@ -190,3 +190,11 @@ class BackpressureError(ServeError):
     melt down under it.
     """
 
+
+
+class ShardError(ReproError):
+    """Shard router/worker failure (dead worker, routing misuse...)."""
+
+
+class TwoPhaseCommitError(ShardError):
+    """A cross-shard transaction could not reach a consistent outcome."""

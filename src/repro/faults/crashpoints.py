@@ -43,6 +43,17 @@ The instrumented boundaries:
                            certifying full sweep has not begun
 ``promote.after_sweep``    image certified, in-flight transactions not yet
                            rolled back, final checkpoint not taken
+``twopc.pre_prepare``      inside participant ``prepare``, before the prepare
+                           record is logged -- the branch is still active and
+                           presumed abort
+``twopc.after_prepare``    prepare record flushed, vote not yet reported --
+                           the branch is in doubt and must ask the coordinator
+``twopc.pre_decide``       all votes in, before the coordinator's decision
+                           record is durable -- presumed abort
+``twopc.after_decide``     decision durable at the coordinator, no participant
+                           told yet -- recovery must re-deliver it
+``twopc.after_first_commit`` one participant committed its branch, the other
+                           still prepared -- the classic half-committed window
 ========================== =====================================================
 
 The registry is a null object: every :class:`~repro.storage.database.Database`
@@ -79,6 +90,11 @@ CRASH_POINTS: tuple[str, ...] = (
     "replica.after_apply",
     "promote.pre_sweep",
     "promote.after_sweep",
+    "twopc.pre_prepare",
+    "twopc.after_prepare",
+    "twopc.pre_decide",
+    "twopc.after_decide",
+    "twopc.after_first_commit",
 )
 
 #: Points inside :meth:`RestartRecovery.run` -- the idempotence property
@@ -115,6 +131,19 @@ FORWARD_CRASH_POINTS: tuple[str, ...] = (
     "checkpoint.after_meta",
     "checkpoint.pre_anchor",
     "checkpoint.after_anchor",
+)
+
+#: Points along a cross-shard two-phase commit, on both sides of the
+#: decision write.  The atomicity property quantifies over these: crash a
+#: transfer at any of them, recover every shard (with the coordinator's
+#: decision log as the in-doubt resolver), and the funds are neither lost
+#: nor doubled.
+TWOPC_CRASH_POINTS: tuple[str, ...] = (
+    "twopc.pre_prepare",
+    "twopc.after_prepare",
+    "twopc.pre_decide",
+    "twopc.after_decide",
+    "twopc.after_first_commit",
 )
 
 _VALID = frozenset(CRASH_POINTS)

@@ -56,6 +56,7 @@ from repro.wal.records import (
     TxnAbortRecord,
     TxnBeginRecord,
     TxnCommitRecord,
+    TxnPrepareRecord,
     UpdateRecord,
 )
 
@@ -184,6 +185,11 @@ class RecoveryReport:
     rolled_back: tuple[int, ...] = ()
     recruited: dict[int, str] = field(default_factory=dict)
     corrupt_range_count: int = 0
+    #: Prepared (in-doubt) 2PC branches the resolver decided: committed
+    #: branches get a commit record appended and their effects kept;
+    #: aborted (or unresolvable -- presumed abort) branches roll back.
+    resolved_committed: tuple[int, ...] = ()
+    resolved_aborted: tuple[int, ...] = ()
 
     @property
     def deleted_set(self) -> set[int]:
@@ -202,6 +208,8 @@ class _RecTxn:
         "committed_in_log",
         "reason",
         "is_recovery",
+        "prepared",
+        "gid",
     )
 
     def __init__(self, txn_id: int) -> None:
@@ -213,6 +221,8 @@ class _RecTxn:
         self.committed_in_log = False
         self.reason = ""
         self.is_recovery = False
+        self.prepared = False
+        self.gid = ""
 
 
 class RestartRecovery:
@@ -222,8 +232,13 @@ class RestartRecovery:
         self,
         db: "Database",
         corruption: CorruptionContext | list[CorruptionContext] | None,
+        in_doubt_resolver=None,
     ) -> None:
         self.db = db
+        #: ``gid -> bool`` callable consulted for prepared (in-doubt) 2PC
+        #: branches found on the log: True means the coordinator decided
+        #: commit.  ``None`` or an unknown gid means presumed abort.
+        self.in_doubt_resolver = in_doubt_resolver
         if corruption is None:
             contexts: list[CorruptionContext] = []
         elif isinstance(corruption, CorruptionContext):
@@ -434,6 +449,10 @@ class RestartRecovery:
             self._on_txn_end(record.txn_id, committed=True)
         elif isinstance(record, TxnAbortRecord):
             self._on_txn_end(record.txn_id, committed=False)
+        elif isinstance(record, TxnPrepareRecord):
+            rec = self._get_txn(record.txn_id)
+            rec.prepared = True
+            rec.gid = record.gid
         elif isinstance(record, AmendRecord):
             # An amend record marks the end of a corruption-recovery
             # episode: everything corrupt was removed, compensations were
@@ -598,8 +617,40 @@ class RestartRecovery:
 
     # ------------------------------------------------------- undo phase
 
+    def _resolve_in_doubt(self) -> None:
+        """Decide prepared 2PC branches before the undo phase rolls back.
+
+        A branch whose prepare record reached the stable log voted yes and
+        must await the coordinator's decision: the resolver (the
+        coordinator's durable decision log) answers ``True`` for commit.
+        Committing is one appended commit record -- the branch's redo is
+        already on the log -- flushed before undo begins, so a crash
+        mid-recovery re-resolves to the same outcome (the decision log is
+        durable) or finds the branch already ended.  No resolver, or a gid
+        the resolver does not know, means presumed abort: the branch falls
+        through to the normal rollback below.
+        """
+        db = self.db
+        committed: list[int] = []
+        aborted: list[int] = []
+        for rec in list(self._txns.values()):
+            if not rec.prepared:
+                continue
+            decide = self.in_doubt_resolver
+            if decide is not None and bool(decide(rec.gid)):
+                db.system_log.append(TxnCommitRecord(rec.txn_id))
+                committed.append(rec.txn_id)
+                del self._txns[rec.txn_id]
+            else:
+                aborted.append(rec.txn_id)
+        if committed:
+            db.system_log.flush()
+        self.report.resolved_committed = tuple(sorted(committed))
+        self.report.resolved_aborted = tuple(sorted(aborted))
+
     def _undo_phase(self) -> None:
         db = self.db
+        self._resolve_in_doubt()
         remaining = list(self._txns.values())
         physical: list[tuple[int, PhysicalUndo]] = []
         logical: list[tuple[int, LogicalUndoEntry]] = []

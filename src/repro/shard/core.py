@@ -1,0 +1,310 @@
+"""One shard's command interpreter: a Database driven by picklable tuples.
+
+The same interpreter backs both execution modes.  In-process mode calls
+:meth:`ShardCore.execute` directly (deterministic, for tests and identity
+properties); process mode runs it inside a ``multiprocessing`` worker with
+commands arriving over a pipe (:mod:`repro.shard.worker`).  Commands are
+plain tuples -- nothing that crosses the boundary holds a database object
+or a closure, so every command pickles.
+
+Transaction state is explicit: ``("begin",)`` returns a transaction id and
+subsequent ``("op", txn_id, ...)`` commands name it, which lets the
+serve-protocol router hold transactions open across requests.  The
+``("txn", ops)`` form is the one-round-trip fast path for whole
+transactions (what the throughput benchmark uses); ``("txn_prepare", gid,
+ops)`` is its 2PC twin, ending in a prepare vote instead of a commit.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.core.codeword import fold_words
+from repro.errors import ConfigError, ReproError, SimulatedCrash
+from repro.faults.crashpoints import CrashPointRegistry
+from repro.storage.database import Database, DBConfig
+from repro.txn.transaction import TxnStatus
+
+
+class ShardCore:
+    """Interprets shard commands against one protected store."""
+
+    def __init__(self, db: Database) -> None:
+        self.db = db
+        self._txns: dict[int, object] = {}
+        self._prepared: dict[str, object] = {}
+
+    # ------------------------------------------------------ construction
+
+    @classmethod
+    def create(
+        cls,
+        config: DBConfig,
+        table_defs: list[tuple],
+        crashpoints: CrashPointRegistry | None = None,
+    ) -> "ShardCore":
+        """Build and start a fresh shard database."""
+        db = Database(config, crashpoints=crashpoints)
+        for name, schema, capacity, key_field in table_defs:
+            db.create_table(name, schema, capacity, key_field=key_field)
+        db.start()
+        return cls(db)
+
+    @classmethod
+    def recover(
+        cls,
+        config: DBConfig,
+        crashpoints: CrashPointRegistry | None = None,
+        in_doubt_resolver: Callable[[str], bool] | None = None,
+    ) -> tuple["ShardCore", object]:
+        """Recover a shard from its directory; returns ``(core, report)``.
+
+        Prepared 2PC branches found on the shard's log are resolved
+        against ``in_doubt_resolver`` (the router passes its decision
+        log); recovery itself commits or rolls them back, so the core
+        starts with no prepared transactions.
+        """
+        db, report = Database.recover(
+            config, crashpoints=crashpoints, in_doubt_resolver=in_doubt_resolver
+        )
+        return cls(db), report
+
+    # ---------------------------------------------------------- dispatch
+
+    def execute(self, cmd: tuple):
+        """Run one command tuple; returns a picklable result."""
+        kind = cmd[0]
+        handler = getattr(self, f"_cmd_{kind}", None)
+        if handler is None:
+            raise ConfigError(f"unknown shard command {kind!r}")
+        return handler(*cmd[1:])
+
+    # ------------------------------------------------- transaction forms
+
+    def _cmd_begin(self) -> int:
+        txn = self.db.begin()
+        self._txns[txn.txn_id] = txn
+        return txn.txn_id
+
+    def _cmd_op(self, txn_id: int, op: tuple):
+        txn = self._txn(txn_id)
+        return self._apply(txn, op)
+
+    def _cmd_commit(self, txn_id: int) -> int:
+        txn = self._txns.pop(txn_id, None)
+        if txn is None:
+            raise ConfigError(f"no open transaction {txn_id}")
+        self.db.commit(txn)
+        return txn_id
+
+    def _cmd_abort(self, txn_id: int) -> int:
+        txn = self._txns.pop(txn_id, None)
+        if txn is None:
+            raise ConfigError(f"no open transaction {txn_id}")
+        self.db.abort(txn)
+        return txn_id
+
+    def _cmd_prepare(self, txn_id: int, gid: str) -> str:
+        txn = self._txns.pop(txn_id, None)
+        if txn is None:
+            raise ConfigError(f"no open transaction {txn_id}")
+        self.db.prepare(txn, gid)
+        self._prepared[gid] = txn
+        return "prepared"
+
+    def _cmd_decide(self, gid: str, commit: bool) -> str:
+        """Finish a prepared branch.  Unknown gids are reported, not an
+        error: after a crash, restart recovery already resolved them."""
+        txn = self._prepared.pop(gid, None)
+        if txn is None:
+            return "unknown"
+        if commit:
+            self.db.commit_prepared(txn)
+            return "committed"
+        self.db.abort_prepared(txn)
+        return "aborted"
+
+    def _cmd_txn(self, ops: list) -> list:
+        """One whole transaction in one round trip."""
+        txn = self.db.begin()
+        try:
+            results = [self._apply(txn, op) for op in ops]
+        except SimulatedCrash:
+            raise  # a crash writes nothing more; Database.crash follows
+        except BaseException:
+            self.db.abort(txn)
+            raise
+        self.db.commit(txn)
+        return results
+
+    def _cmd_txn_prepare(self, gid: str, ops: list) -> list:
+        """A 2PC participant branch in one round trip: work, then vote."""
+        txn = self.db.begin()
+        try:
+            results = [self._apply(txn, op) for op in ops]
+            self.db.prepare(txn, gid)
+        except SimulatedCrash:
+            raise
+        except BaseException:
+            if txn.status is TxnStatus.ACTIVE:
+                self.db.abort(txn)
+            raise
+        self._prepared[gid] = txn
+        return results
+
+    def _txn(self, txn_id: int):
+        txn = self._txns.get(txn_id)
+        if txn is None:
+            raise ConfigError(f"no open transaction {txn_id}")
+        return txn
+
+    # ----------------------------------------------------- workload ops
+
+    def _apply(self, txn, op: tuple):
+        kind = op[0]
+        if kind == "add":
+            _, table_name, key, field_name, delta = op
+            table = self.db.table(table_name)
+            slot = table.lookup(txn, key)
+            if slot is None:
+                raise ReproError(f"{table_name} key {key} not found")
+            table.update(txn, slot, {field_name: lambda cur: cur + delta})
+            return None
+        if kind == "insert":
+            _, table_name, values = op
+            return self.db.table(table_name).insert(txn, values)
+        if kind == "query":
+            _, table_name, key = op
+            table = self.db.table(table_name)
+            slot = table.lookup(txn, key)
+            return None if slot is None else table.read(txn, slot)
+        if kind == "update_key":
+            _, table_name, key, values = op
+            table = self.db.table(table_name)
+            slot = table.lookup(txn, key)
+            if slot is None:
+                raise ReproError(f"{table_name} key {key} not found")
+            table.update(txn, slot, values)
+            return slot
+        if kind == "read_slot":
+            _, table_name, slot = op
+            return self.db.table(table_name).read(txn, slot)
+        if kind == "update_slot":
+            _, table_name, slot, values = op
+            self.db.table(table_name).update(txn, slot, values)
+            return slot
+        if kind == "delete_slot":
+            _, table_name, slot = op
+            self.db.table(table_name).delete(txn, slot)
+            return slot
+        if kind == "lookup":
+            _, table_name, key = op
+            return self.db.table(table_name).lookup(txn, key)
+        if kind == "charge":
+            self.db.meter.charge(op[1])
+            return None
+        raise ConfigError(f"unknown workload op {kind!r}")
+
+    # -------------------------------------------------- admin / queries
+
+    def _cmd_checkpoint(self) -> bool:
+        return bool(self.db.checkpoint().certified)
+
+    def _cmd_audit(self) -> tuple:
+        """Full audit; returns ``(clean, corrupt_regions, byte_ranges)``.
+
+        The byte ranges let a parent-side campaign score detection
+        against injector ground truth without reaching into the shard.
+        """
+        report = self.db.audit()
+        return (
+            report.clean,
+            tuple(report.corrupt_regions),
+            tuple(report.corrupt_byte_ranges),
+        )
+
+    def _cmd_flush(self) -> None:
+        self.db.manager.flush_commits()
+
+    def _cmd_meter(self) -> dict:
+        return self.db.meter.snapshot()
+
+    def _cmd_clock(self) -> int:
+        """The shard's virtual clock (ns) -- the Table 2 measurement
+        protocol, per shard.  Shards tick independently, so the virtual
+        elapsed time of a sharded run is the *max* across shards."""
+        return self.db.clock.now_ns
+
+    def _cmd_snapshot(self) -> dict:
+        return self.db.memory.snapshot_segments()
+
+    def _cmd_content_digest(self) -> dict:
+        """Order-independent per-table digest of the live logical content.
+
+        XOR of ``fold_words(record_bytes)`` over every allocated slot:
+        equal across any sharding of the same rows (XOR is commutative),
+        which is what the reshard-invariance property checks.
+        """
+        digests: dict[str, int] = {}
+        txn = self.db.begin()
+        try:
+            for name, table in self.db.tables.items():
+                acc = 0
+                for slot in table.scan_slots(txn):
+                    acc ^= fold_words(table.read_bytes(txn, slot))
+                digests[name] = acc
+        finally:
+            self.db.commit(txn)
+        return digests
+
+    def _cmd_sum_field(self, table_name: str, field_name: str) -> int:
+        total = 0
+        txn = self.db.begin()
+        try:
+            table = self.db.table(table_name)
+            for slot in table.scan_slots(txn):
+                total += table.read(txn, slot)[field_name]
+        finally:
+            self.db.commit(txn)
+        return total
+
+    def _cmd_row_count(self, table_name: str) -> int:
+        txn = self.db.begin()
+        try:
+            return self.db.table(table_name).row_count(txn)
+        finally:
+            self.db.commit(txn)
+
+    def _cmd_quarantined(self) -> tuple:
+        return tuple(self.db.quarantined_regions())
+
+    def _cmd_repair(self) -> int:
+        return self.db.repair_quarantined()
+
+    def _cmd_wild_write(self, table_name: str, key: int, offset: int, data: bytes):
+        """A wild write: scribble on a record through ``poke``, bypassing
+        the prescribed interface -- the fault the codewords exist to catch."""
+        txn = self.db.begin()
+        table = self.db.table(table_name)
+        slot = table.lookup(txn, key)
+        self.db.commit(txn)
+        if slot is None:
+            raise ReproError(f"{table_name} key {key} not found")
+        address = table.record_address(slot) + offset
+        self.db.memory.poke(address, data)
+        return address
+
+    def _cmd_committed_count(self) -> int:
+        return self.db.manager.committed_count
+
+    def _cmd_status(self) -> str:
+        return self.db.status()
+
+    def _cmd_ping(self) -> str:
+        return "pong"
+
+    def _cmd_crash(self) -> None:
+        self.db.crash()
+
+    def _cmd_close(self) -> None:
+        self.db.close()

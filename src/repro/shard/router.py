@@ -1,0 +1,593 @@
+"""The shard router: partitioned stores, 2PC transfers, parallel recovery.
+
+:class:`ShardedDatabase` owns N shards (in-process or worker processes)
+and routes whole transactions: every op in a transaction is mapped to a
+shard by the partition spec; a one-shard transaction commits locally in
+one round trip, a cross-shard transaction runs presumed-abort two-phase
+commit.  The 2PC pieces are deliberately minimal:
+
+- *Participants* are ordinary shard databases.  A prepare is the branch's
+  redo migration plus a :class:`~repro.wal.records.TxnPrepareRecord`
+  (flushed) on that shard's own WAL -- no new log, no new codec.
+- *The coordinator's* only durable state is the decision log
+  (:class:`DecisionLog`): a fsync'd append-only file of committed gids.
+  Absence means abort -- that is the whole presumed-abort protocol.
+- *Recovery* is per-shard and independent: each shard replays its own WAL
+  through the existing :class:`~repro.recovery.restart.RestartRecovery`,
+  which resolves any prepared branch it finds against the decision log.
+  Shards never consult each other, so N recoveries run in N processes
+  and wall-clock drops near-linearly (``bench --sharded`` measures it).
+
+:class:`ShardRouter` fronts the ``repro/serve`` request/response protocol
+on top: one router instance is one client session, holding at most one
+open (possibly multi-shard) transaction, with slot ids transparently
+tagged with their shard.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, field as dc_field
+
+from repro.errors import (
+    ConfigError,
+    ShardError,
+    SimulatedCrash,
+    TwoPhaseCommitError,
+)
+from repro.faults.crashpoints import CrashPointRegistry
+from repro.serve.protocol import Request, Response
+from repro.shard.core import ShardCore
+from repro.shard.partition import PartitionSpec, shard_capacity
+from repro.shard.shard import LocalShard, ProcessShard, ShardCrashed
+from repro.storage.database import DBConfig
+
+DECISION_LOG_FILE = "2pc.decisions"
+
+
+class DecisionLog:
+    """The coordinator's durable commit decisions: one gid per line.
+
+    Presumed abort needs exactly one durable bit per *committed* global
+    transaction; aborted ones are never written.  ``append`` is
+    write+flush+fsync, so by the time any participant is told to commit,
+    a crash-and-recover coordinator still answers "commit" for that gid.
+    """
+
+    def __init__(self, path: str) -> None:
+        self.path = path
+        self._committed: set[str] = set()
+        if os.path.exists(path):
+            with open(path, encoding="utf-8") as handle:
+                self._committed = {line.strip() for line in handle if line.strip()}
+        self._handle = open(path, "a", encoding="utf-8")
+
+    def append(self, gid: str) -> None:
+        self._handle.write(gid + "\n")
+        self._handle.flush()
+        os.fsync(self._handle.fileno())
+        self._committed.add(gid)
+
+    def committed(self, gid: str) -> bool:
+        return gid in self._committed
+
+    def resolver(self):
+        committed = frozenset(self._committed)
+        return lambda gid: gid in committed
+
+    def __len__(self) -> int:
+        return len(self._committed)
+
+    def close(self) -> None:
+        self._handle.close()
+
+    @staticmethod
+    def load_committed(path: str) -> frozenset:
+        if not os.path.exists(path):
+            return frozenset()
+        with open(path, encoding="utf-8") as handle:
+            return frozenset(line.strip() for line in handle if line.strip())
+
+
+@dataclass
+class ShardedConfig:
+    """Shape of a sharded database: partitioning plus per-shard DBConfig."""
+
+    dir: str
+    n_shards: int = 1
+    #: ``"inproc"`` runs every shard on the caller's thread (deterministic;
+    #: what the identity properties and crash-point tests use);
+    #: ``"process"`` runs one worker process per shard.
+    mode: str = "inproc"
+    #: partition modulus: branch = key % branches (see PartitionSpec)
+    branches: int = 2
+    # ------------------------------------------- per-shard DBConfig knobs
+    scheme: str = "data_codeword"
+    scheme_params: dict = dc_field(default_factory=dict)
+    page_size: int = 8192
+    group_commit_size: int = 1
+    update_batch: int = 1
+    audit_mode: str = "full"
+    full_sweep_every: int = 8
+    quarantine: bool = False
+    quarantine_repair: bool = False
+    scheduler_mode: str = "auto"
+
+    def shard_dir(self, shard_id: int) -> str:
+        return os.path.join(self.dir, f"shard-{shard_id:02d}")
+
+    def db_config(self, shard_id: int) -> DBConfig:
+        return DBConfig(
+            dir=self.shard_dir(shard_id),
+            scheme=self.scheme,
+            scheme_params=dict(self.scheme_params),
+            page_size=self.page_size,
+            group_commit_size=self.group_commit_size,
+            update_batch=self.update_batch,
+            audit_mode=self.audit_mode,
+            full_sweep_every=self.full_sweep_every,
+            quarantine=self.quarantine,
+            quarantine_repair=self.quarantine_repair,
+            scheduler_mode=self.scheduler_mode,
+        )
+
+    def partition(self) -> PartitionSpec:
+        return PartitionSpec(branches=self.branches, n_shards=self.n_shards)
+
+
+def _shard_table_defs(table_defs: list[tuple], n_shards: int) -> list[tuple]:
+    """Global table defs -> per-shard defs with split capacities."""
+    return [
+        (name, schema, shard_capacity(capacity, n_shards), key_field)
+        for name, schema, capacity, key_field in table_defs
+    ]
+
+
+class ShardedDatabase:
+    """N protected stores behind one transaction router."""
+
+    def __init__(
+        self,
+        config: ShardedConfig,
+        shards: list,
+        partition: PartitionSpec,
+        decisions: DecisionLog,
+        crashpoints: CrashPointRegistry,
+    ) -> None:
+        self.config = config
+        self.shards = shards
+        self.partition = partition
+        self.decisions = decisions
+        #: Router-side crash points (the ``twopc.pre_decide`` /
+        #: ``after_decide`` / ``after_first_commit`` coordinator moments).
+        self.crashpoints = crashpoints
+        self._next_gid = 1
+        self._closed = False
+
+    # ------------------------------------------------------ construction
+
+    @classmethod
+    def create(
+        cls,
+        config: ShardedConfig,
+        table_defs: list[tuple],
+        shard_crashpoints: list[CrashPointRegistry] | None = None,
+    ) -> "ShardedDatabase":
+        """Build N fresh shards.  ``table_defs`` are *global*
+        ``(name, schema, capacity, key_field)`` tuples; each shard gets an
+        even capacity split (exactly ``capacity`` when N=1)."""
+        os.makedirs(config.dir, exist_ok=True)
+        per_shard = _shard_table_defs(table_defs, config.n_shards)
+        shards: list = []
+        if config.mode == "inproc":
+            for i in range(config.n_shards):
+                registry = (
+                    shard_crashpoints[i] if shard_crashpoints is not None else None
+                )
+                core = ShardCore.create(
+                    config.db_config(i), per_shard, crashpoints=registry
+                )
+                shards.append(LocalShard(i, core))
+        elif config.mode == "process":
+            for i in range(config.n_shards):
+                shards.append(ProcessShard(i, config.db_config(i), per_shard))
+            for shard in shards:
+                shard.wait_ready()
+        else:
+            raise ConfigError(f"unknown shard mode {config.mode!r}")
+        decisions = DecisionLog(os.path.join(config.dir, DECISION_LOG_FILE))
+        return cls(
+            config, shards, config.partition(), decisions, CrashPointRegistry()
+        )
+
+    @classmethod
+    def recover(
+        cls,
+        config: ShardedConfig,
+        shard_crashpoints: list[CrashPointRegistry] | None = None,
+    ) -> tuple["ShardedDatabase", list]:
+        """Recover every shard; returns ``(router, per-shard reports)``.
+
+        In process mode the N recoveries run concurrently inside the N
+        fresh worker processes -- this is the shard-parallel restart the
+        benchmark's recovery curve measures.  Each shard resolves its
+        in-doubt 2PC branches against the shared decision log.
+        """
+        decision_path = os.path.join(config.dir, DECISION_LOG_FILE)
+        committed = DecisionLog.load_committed(decision_path)
+        shards: list = []
+        reports: list = []
+        if config.mode == "inproc":
+            resolver = lambda gid: gid in committed  # noqa: E731
+            for i in range(config.n_shards):
+                registry = (
+                    shard_crashpoints[i] if shard_crashpoints is not None else None
+                )
+                core, report = ShardCore.recover(
+                    config.db_config(i),
+                    crashpoints=registry,
+                    in_doubt_resolver=resolver,
+                )
+                shards.append(LocalShard(i, core))
+                reports.append(report)
+        elif config.mode == "process":
+            for i in range(config.n_shards):
+                shards.append(
+                    ProcessShard(
+                        i,
+                        config.db_config(i),
+                        [],
+                        recover=True,
+                        committed_gids=committed,
+                    )
+                )
+            for shard in shards:
+                reports.append(shard.wait_ready()["recovery"])
+        else:
+            raise ConfigError(f"unknown shard mode {config.mode!r}")
+        decisions = DecisionLog(decision_path)
+        router = cls(
+            config, shards, config.partition(), decisions, CrashPointRegistry()
+        )
+        return router, reports
+
+    # ----------------------------------------------------------- routing
+
+    def shard_for_op(self, op: tuple) -> int | None:
+        """Which shard executes one workload op; None = unconstrained."""
+        kind = op[0]
+        if kind in ("add", "query", "update_key", "lookup"):
+            return self.partition.shard_for_key(op[1], op[2])
+        if kind == "insert":
+            return self.partition.shard_for_row(op[1], op[2])
+        if kind == "charge":
+            return None
+        raise ConfigError(f"op {kind!r} is not routable; use slot-tagged forms")
+
+    def _split(self, ops: list) -> dict[int, list]:
+        """Partition a transaction's ops by shard, preserving order.
+
+        Unconstrained ops (meter charges) ride with the transaction's
+        first routed shard so a single-branch transaction stays
+        single-shard.
+        """
+        groups: dict[int, list] = {}
+        unrouted: list = []
+        first_shard: int | None = None
+        for op in ops:
+            sid = self.shard_for_op(op)
+            if sid is None:
+                if first_shard is None:
+                    unrouted.append(op)
+                else:
+                    groups[first_shard].append(op)
+                continue
+            if sid not in groups:
+                groups[sid] = []
+            if first_shard is None:
+                first_shard = sid
+                groups[sid].extend(unrouted)
+                unrouted.clear()
+            groups[sid].append(op)
+        if unrouted:
+            groups.setdefault(0, []).extend(unrouted)
+        return groups
+
+    # ------------------------------------------------------ transactions
+
+    def submit_txn(self, ops: list) -> list:
+        """Run one whole transaction; single-shard fast path or 2PC."""
+        self._require_open()
+        groups = self._split(ops)
+        if len(groups) == 1:
+            ((sid, shard_ops),) = groups.items()
+            return self.shards[sid].call(("txn", shard_ops))
+        self._commit_two_phase(groups)
+        return []
+
+    def submit_txn_nowait(self, ops: list) -> None:
+        """Pipelined single-shard submission (the throughput fast path).
+
+        Cross-shard transactions need votes before a decision, so they
+        always run synchronously via :meth:`submit_txn`.
+        """
+        groups = self._split(ops)
+        if len(groups) != 1:
+            self.submit_txn(ops)
+            return
+        ((sid, shard_ops),) = groups.items()
+        self.shards[sid].call_nowait(("txn", shard_ops))
+
+    def drain(self) -> list:
+        return [result for shard in self.shards for result in shard.drain()]
+
+    def _commit_two_phase(self, groups: dict[int, list]) -> None:
+        """Presumed-abort 2PC over ``groups`` (shard id -> ops)."""
+        gid = f"g{self._next_gid}"
+        self._next_gid += 1
+        prepared: list[int] = []
+        failure: BaseException | None = None
+        for sid in sorted(groups):
+            try:
+                self.shards[sid].call(("txn_prepare", gid, groups[sid]))
+                prepared.append(sid)
+            except SimulatedCrash:
+                raise  # inproc crash simulation: whole process dies here
+            except ShardCrashed:
+                raise  # process mode: the worker is gone; recover
+            except BaseException as exc:
+                failure = exc
+                break
+        if failure is not None:
+            # Presumed abort: nothing durable names this gid; roll back
+            # the branches that did prepare and surface the vote-no cause.
+            for sid in prepared:
+                self.shards[sid].call(("decide", gid, False))
+            raise TwoPhaseCommitError(
+                f"transaction {gid} aborted: {failure}"
+            ) from failure
+        self.crashpoints.reach("twopc.pre_decide")
+        self.decisions.append(gid)
+        self.crashpoints.reach("twopc.after_decide")
+        first = True
+        for sid in prepared:
+            self.shards[sid].call(("decide", gid, True))
+            if first:
+                self.crashpoints.reach("twopc.after_first_commit")
+                first = False
+
+    def commit_session(self, open_txns: dict[int, int]) -> None:
+        """Commit a session's open per-shard transactions (serve front).
+
+        ``open_txns`` maps shard id -> open transaction id.  One shard
+        commits locally; several run the same presumed-abort 2PC as
+        :meth:`_commit_two_phase`, but over already-open transactions.
+        """
+        self._require_open()
+        if not open_txns:
+            return
+        if len(open_txns) == 1:
+            ((sid, txn_id),) = open_txns.items()
+            self.shards[sid].call(("commit", txn_id))
+            return
+        gid = f"g{self._next_gid}"
+        self._next_gid += 1
+        prepared: list[int] = []
+        failure: BaseException | None = None
+        for sid in sorted(open_txns):
+            try:
+                self.shards[sid].call(("prepare", open_txns[sid], gid))
+                prepared.append(sid)
+            except (SimulatedCrash, ShardCrashed):
+                raise
+            except BaseException as exc:
+                failure = exc
+                break
+        if failure is not None:
+            for sid in prepared:
+                self.shards[sid].call(("decide", gid, False))
+            for sid in sorted(open_txns):
+                if sid not in prepared:
+                    try:
+                        self.shards[sid].call(("abort", open_txns[sid]))
+                    except Exception:
+                        pass
+            raise TwoPhaseCommitError(
+                f"transaction {gid} aborted: {failure}"
+            ) from failure
+        self.crashpoints.reach("twopc.pre_decide")
+        self.decisions.append(gid)
+        self.crashpoints.reach("twopc.after_decide")
+        first = True
+        for sid in prepared:
+            self.shards[sid].call(("decide", gid, True))
+            if first:
+                self.crashpoints.reach("twopc.after_first_commit")
+                first = False
+
+    # -------------------------------------------------- admin / queries
+
+    def call_all(self, cmd: tuple) -> list:
+        return [shard.call(cmd) for shard in self.shards]
+
+    def checkpoint_all(self) -> list:
+        return self.call_all(("checkpoint",))
+
+    def audit_all(self) -> list:
+        return self.call_all(("audit",))
+
+    def content_digest(self) -> dict:
+        """Order-independent logical digest, merged across shards."""
+        merged: dict[str, int] = {}
+        for digests in self.call_all(("content_digest",)):
+            for table, digest in digests.items():
+                merged[table] = merged.get(table, 0) ^ digest
+        return merged
+
+    def sum_field(self, table: str, field_name: str) -> int:
+        return sum(self.call_all(("sum_field", table, field_name)))
+
+    def row_count(self, table: str) -> int:
+        return sum(self.call_all(("row_count", table)))
+
+    def meters(self) -> list[dict]:
+        return self.call_all(("meter",))
+
+    def quarantined(self) -> dict[int, tuple]:
+        return {
+            sid: regions
+            for sid, regions in enumerate(self.call_all(("quarantined",)))
+        }
+
+    def repair_all(self) -> int:
+        return sum(self.call_all(("repair",)))
+
+    def wild_write(self, table: str, key: int, offset: int, data: bytes) -> int:
+        """Scribble on one record, bypassing the prescribed interface."""
+        sid = self.partition.shard_for_key(table, key)
+        return self.shards[sid].call(("wild_write", table, key, offset, data))
+
+    # ---------------------------------------------------------- lifecycle
+
+    def crash(self) -> None:
+        """Simulate failure of the whole node: every shard dies."""
+        for shard in self.shards:
+            if isinstance(shard, LocalShard):
+                try:
+                    shard.crash()
+                except Exception:
+                    pass
+            else:
+                shard.terminate()
+        self.decisions.close()
+        self._closed = True
+
+    def crash_shard(self, shard_id: int) -> None:
+        """Kill one shard only; the rest keep serving."""
+        shard = self.shards[shard_id]
+        if isinstance(shard, LocalShard):
+            shard.crash()
+        else:
+            shard.terminate()
+
+    def close(self) -> None:
+        if self._closed:
+            return
+        for shard in self.shards:
+            try:
+                shard.close()
+            except Exception:
+                pass
+        self.decisions.close()
+        self._closed = True
+
+    def _require_open(self) -> None:
+        if self._closed:
+            raise ShardError("sharded database is closed")
+
+
+class ShardRouter:
+    """One client session speaking the ``repro/serve`` protocol.
+
+    Slot ids crossing the protocol boundary are shard-tagged
+    (``global_slot = local_slot * n_shards + shard_id``) so ``read`` /
+    ``update`` / ``delete`` by slot route without a lookup.  ``commit``
+    commits locally when the transaction touched one shard and runs 2PC
+    when it touched several.
+    """
+
+    def __init__(self, db: ShardedDatabase) -> None:
+        self.db = db
+        self._open_txns: dict[int, int] = {}
+        self._in_txn = False
+
+    # ------------------------------------------------------------- slots
+
+    def _encode_slot(self, shard_id: int, slot: int) -> int:
+        return slot * self.db.config.n_shards + shard_id
+
+    def _decode_slot(self, global_slot: int) -> tuple[int, int]:
+        n = self.db.config.n_shards
+        return global_slot % n, global_slot // n
+
+    # ---------------------------------------------------------- protocol
+
+    def handle(self, request: Request) -> Response:
+        try:
+            value = self._dispatch(request)
+            return Response(True, request.op, request.request_id, value)
+        except (SimulatedCrash, ShardCrashed):
+            raise
+        except BaseException as exc:
+            self._rollback()
+            return Response(
+                False,
+                request.op,
+                request.request_id,
+                None,
+                error=type(exc).__name__,
+                detail=str(exc),
+            )
+
+    def _dispatch(self, request: Request):
+        op = request.op
+        if op == "begin":
+            if self._in_txn:
+                raise ShardError("transaction already open")
+            self._in_txn = True
+            self._open_txns = {}
+            return 0
+        if op == "commit":
+            self._require_txn()
+            txns, self._open_txns = self._open_txns, {}
+            self._in_txn = False
+            self.db.commit_session(txns)
+            return 0
+        if op == "abort":
+            self._require_txn()
+            self._rollback()
+            return 0
+        self._require_txn()
+        if op == "insert":
+            sid = self.db.partition.shard_for_row(request.table, request.values)
+            slot = self._shard_op(sid, ("insert", request.table, request.values))
+            return self._encode_slot(sid, slot)
+        if op == "lookup":
+            sid = self.db.partition.shard_for_key(request.table, request.key)
+            slot = self._shard_op(sid, ("lookup", request.table, request.key))
+            return None if slot is None else self._encode_slot(sid, slot)
+        if op == "query":
+            sid = self.db.partition.shard_for_key(request.table, request.key)
+            return self._shard_op(sid, ("query", request.table, request.key))
+        if op == "read":
+            sid, slot = self._decode_slot(request.slot)
+            return self._shard_op(sid, ("read_slot", request.table, slot))
+        if op == "update":
+            sid, slot = self._decode_slot(request.slot)
+            self._shard_op(sid, ("update_slot", request.table, slot, request.values))
+            return request.slot
+        if op == "delete":
+            sid, slot = self._decode_slot(request.slot)
+            self._shard_op(sid, ("delete_slot", request.table, slot))
+            return request.slot
+        raise ShardError(f"unknown op {op!r}")
+
+    def _shard_op(self, shard_id: int, op: tuple):
+        txn_id = self._open_txns.get(shard_id)
+        if txn_id is None:
+            txn_id = self.db.shards[shard_id].call(("begin",))
+            self._open_txns[shard_id] = txn_id
+        return self.db.shards[shard_id].call(("op", txn_id, op))
+
+    def _require_txn(self) -> None:
+        if not self._in_txn:
+            raise ShardError("no open transaction; send begin first")
+
+    def _rollback(self) -> None:
+        txns, self._open_txns = self._open_txns, {}
+        self._in_txn = False
+        for sid, txn_id in txns.items():
+            try:
+                self.db.shards[sid].call(("abort", txn_id))
+            except Exception:
+                pass

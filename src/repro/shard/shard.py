@@ -1,0 +1,154 @@
+"""Shard handles: one synchronous, one process-backed with pipelining.
+
+Both expose the same three calls -- ``call`` (one command, one answer),
+``call_nowait``/``drain`` (pipelined) -- so the router and the benchmarks
+are mode-blind.  :class:`LocalShard` runs commands inline (deterministic;
+identity properties compare it byte-for-byte against the unsharded
+database).  :class:`ProcessShard` sends them to a worker process; because
+the pipe is FIFO, ``call_nowait`` may queue an arbitrary backlog and
+``drain`` collects answers in order, which keeps every worker core busy
+while the parent does nothing but pickle tuples.
+"""
+
+from __future__ import annotations
+
+import multiprocessing as mp
+
+import repro.errors as errors_mod
+from repro.errors import ReproError, ShardError, SimulatedCrash
+from repro.shard.core import ShardCore
+from repro.shard.worker import shard_worker_main
+
+
+def _mp_context():
+    methods = mp.get_all_start_methods()
+    return mp.get_context("fork" if "fork" in methods else "spawn")
+
+
+class ShardCrashed(ShardError):
+    """The worker hit a simulated crash and exited; recover the shard."""
+
+    def __init__(self, shard_id: int, point: str, hit: int) -> None:
+        super().__init__(f"shard {shard_id} crashed at {point} (hit {hit})")
+        self.shard_id = shard_id
+        self.point = point
+        self.hit = hit
+
+
+class LocalShard:
+    """In-process shard: commands run inline on the caller's thread."""
+
+    def __init__(self, shard_id: int, core: ShardCore) -> None:
+        self.shard_id = shard_id
+        self.core = core
+        self._pending: list = []
+
+    def call(self, cmd: tuple):
+        return self.core.execute(cmd)
+
+    def call_nowait(self, cmd: tuple) -> None:
+        # Inline execution keeps deterministic ordering: the command runs
+        # now; only the answer is deferred to drain().
+        self._pending.append(self.core.execute(cmd))
+
+    def drain(self) -> list:
+        results, self._pending = self._pending, []
+        return results
+
+    @property
+    def pending(self) -> int:
+        return len(self._pending)
+
+    def close(self) -> None:
+        self.core.db.close()
+
+    def crash(self) -> None:
+        self.core.db.crash()
+
+
+class ProcessShard:
+    """A shard behind a worker process and a FIFO pipe."""
+
+    def __init__(
+        self,
+        shard_id: int,
+        config,
+        table_defs,
+        recover: bool = False,
+        committed_gids: frozenset = frozenset(),
+    ) -> None:
+        self.shard_id = shard_id
+        ctx = _mp_context()
+        self._conn, child_conn = ctx.Pipe()
+        self._proc = ctx.Process(
+            target=shard_worker_main,
+            args=(child_conn, config, table_defs, recover, frozenset(committed_gids)),
+            daemon=True,
+            name=f"shard-{shard_id}",
+        )
+        self._proc.start()
+        child_conn.close()
+        self._outstanding = 0
+        self._ready = None  # set by wait_ready
+
+    def wait_ready(self) -> dict:
+        """Block until the worker finishes creation/recovery."""
+        if self._ready is None:
+            self._ready = self._decode(self._conn.recv())
+        return self._ready
+
+    def call(self, cmd: tuple):
+        self.wait_ready()
+        self._conn.send(cmd)
+        return self._decode(self._conn.recv())
+
+    def call_nowait(self, cmd: tuple) -> None:
+        self.wait_ready()
+        self._conn.send(cmd)
+        self._outstanding += 1
+
+    def drain(self) -> list:
+        results = []
+        while self._outstanding:
+            results.append(self._decode(self._conn.recv()))
+            self._outstanding -= 1
+        return results
+
+    @property
+    def pending(self) -> int:
+        return self._outstanding
+
+    def _decode(self, reply):
+        tag = reply[0]
+        if tag == "ok":
+            return reply[1]
+        if tag == "crash":
+            _tag, point, hit = reply
+            self._outstanding = 0
+            self._proc.join(timeout=10)
+            raise ShardCrashed(self.shard_id, point, hit)
+        _tag, exc_name, message = reply
+        exc_class = getattr(errors_mod, exc_name, None)
+        if exc_class is None or not isinstance(exc_class, type):
+            exc_class = ReproError
+        if exc_class is SimulatedCrash:  # pragma: no cover - crash uses "crash"
+            exc_class = ReproError
+        raise exc_class(f"[shard {self.shard_id}] {message}")
+
+    def close(self) -> None:
+        if self._proc.is_alive():
+            try:
+                self.wait_ready()
+                self._conn.send(("exit",))
+                self._conn.recv()
+            except (BrokenPipeError, EOFError, OSError):
+                pass
+        self._proc.join(timeout=10)
+        self._conn.close()
+
+    def terminate(self) -> None:
+        """Hard-kill the worker (crash simulation in process mode)."""
+        if self._proc.is_alive():
+            self._proc.terminate()
+        self._proc.join(timeout=10)
+        self._conn.close()

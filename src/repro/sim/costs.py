@@ -51,6 +51,7 @@ def _default_unit_costs() -> dict[str, int]:
         "op_commit": 8_000,           # migrate local redo to system log
         "txn_begin": 10_000,
         "txn_commit": 60_000,         # commit record + flush initiation
+        "txn_prepare": 60_000,        # 2PC vote: prepare record + forced flush
         "lock_acquire": 2_000,
         "lock_release": 1_000,
         "latch_pair": 1_000,          # shared or exclusive acquire+release

@@ -303,7 +303,12 @@ class Database:
         self._started = True
 
     @classmethod
-    def recover(cls, config: DBConfig, crashpoints: CrashPointRegistry | None = None):
+    def recover(
+        cls,
+        config: DBConfig,
+        crashpoints: CrashPointRegistry | None = None,
+        in_doubt_resolver=None,
+    ):
         """Recover a database from its directory after a crash.
 
         Returns ``(database, recovery_report)``.  If a corruption note is
@@ -318,6 +323,11 @@ class Database:
         :class:`~repro.errors.SimulatedCrash` propagates, so the caller
         can simply ``recover`` again -- recovery is idempotent across
         every registered crash point.
+
+        ``in_doubt_resolver`` (optional) is a ``gid -> bool`` callable
+        consulted for prepared 2PC branches found on the log (the shard
+        router passes its durable decision log); absent or unknown gids
+        are presumed aborted.
         """
         from repro.recovery.restart import RestartRecovery, load_corruption_note
 
@@ -326,7 +336,7 @@ class Database:
         db._build_layout()
         db._open_log_and_manager()
         corruption = load_corruption_note(db)
-        recovery = RestartRecovery(db, corruption)
+        recovery = RestartRecovery(db, corruption, in_doubt_resolver=in_doubt_resolver)
         try:
             report = recovery.run()
         except SimulatedCrash:
@@ -519,6 +529,24 @@ class Database:
     def abort(self, txn: Transaction) -> None:
         self._require_usable()
         self.manager.abort(txn)
+        if self.history is not None:
+            self.history.on_abort(txn.txn_id)
+
+    def prepare(self, txn: Transaction, gid: str) -> None:
+        """Vote yes on a 2PC branch (phase one); see
+        :meth:`TransactionManager.prepare`."""
+        self._require_usable()
+        self.manager.prepare(txn, gid)
+
+    def commit_prepared(self, txn: Transaction) -> None:
+        self._require_usable()
+        self.manager.commit_prepared(txn)
+        if self.history is not None:
+            self.history.on_commit(txn.txn_id)
+
+    def abort_prepared(self, txn: Transaction) -> None:
+        self._require_usable()
+        self.manager.abort_prepared(txn)
         if self.history is not None:
             self.history.on_abort(txn.txn_id)
 

@@ -45,6 +45,7 @@ from repro.wal.records import (
     TxnAbortRecord,
     TxnBeginRecord,
     TxnCommitRecord,
+    TxnPrepareRecord,
     UpdateRecord,
 )
 from repro.wal.system_log import SystemLog
@@ -196,6 +197,75 @@ class TransactionManager:
         self.att.remove(txn.txn_id)
         with self._id_lock:
             self.aborted_count += 1
+
+    # ------------------------------------------- two-phase commit branch
+
+    def prepare(self, txn: Transaction, gid: str) -> None:
+        """Phase one of presumed-abort 2PC: vote yes and make it stable.
+
+        The branch's redo records migrate to the system log exactly as in
+        :meth:`commit`, followed by a :class:`TxnPrepareRecord` carrying
+        the global transaction id, and the tail is flushed
+        unconditionally -- the prepare vote is a durability promise.  The
+        transaction keeps its locks and stays in the ATT with status
+        ``PREPARED``; only the coordinator's decision (or restart
+        recovery's in-doubt resolution) releases it.
+        """
+        txn.require_active()
+        if txn.op_stack:
+            raise TransactionError(
+                f"transaction {txn.txn_id} still has {len(txn.op_stack)} open "
+                "operation(s) at prepare"
+            )
+        if txn.pending_update is not None:
+            raise TransactionError(
+                f"transaction {txn.txn_id} has an open update window at prepare"
+            )
+        self.system_log.crashpoints.reach("twopc.pre_prepare")
+        self.system_log.extend(txn.redo_log.take_from(0), charge=False)
+        self.system_log.append(TxnPrepareRecord(txn.txn_id, gid))
+        # A prepare always flushes, and the flush covers any commits a
+        # group-commit window was holding (they precede it in the log).
+        self.system_log.flush()
+        with self._gc_lock:
+            self._commits_since_flush = 0
+        self.meter.charge("txn_prepare")
+        txn.gid = gid
+        txn.status = TxnStatus.PREPARED
+        self.system_log.crashpoints.reach("twopc.after_prepare")
+
+    def commit_prepared(self, txn: Transaction) -> None:
+        """Phase two, commit decision: finish a prepared branch."""
+        if txn.status is not TxnStatus.PREPARED:
+            raise TransactionError(
+                f"transaction {txn.txn_id} is {txn.status.value}, not prepared"
+            )
+        self.system_log.append(TxnCommitRecord(txn.txn_id))
+        # The decision is already durable at the coordinator; flushing here
+        # just shrinks the in-doubt window the resolver must cover.
+        self.system_log.flush()
+        with self._gc_lock:
+            self._commits_since_flush = 0
+        self.meter.charge("txn_commit")
+        txn.status = TxnStatus.COMMITTED
+        self._release_txn_locks(txn)
+        self.att.remove(txn.txn_id)
+        with self._id_lock:
+            self.committed_count += 1
+
+    def abort_prepared(self, txn: Transaction) -> None:
+        """Phase two, abort decision: roll back a prepared branch.
+
+        The branch's undo log is intact (prepare only migrated redo), so
+        flipping the status back to ``ACTIVE`` lets the normal
+        :meth:`abort` path do the rollback and write the abort record.
+        """
+        if txn.status is not TxnStatus.PREPARED:
+            raise TransactionError(
+                f"transaction {txn.txn_id} is {txn.status.value}, not prepared"
+            )
+        txn.status = TxnStatus.ACTIVE
+        self.abort(txn)
 
     def flush_commits(self) -> None:
         """Make commits held back by a group-commit window durable.

@@ -19,6 +19,7 @@ from repro.wal.local_log import LocalRedoLog, UndoLog
 
 class TxnStatus(Enum):
     ACTIVE = "active"
+    PREPARED = "prepared"
     COMMITTED = "committed"
     ABORTED = "aborted"
 
@@ -114,6 +115,9 @@ class Transaction:
         self.redo_log = LocalRedoLog()
         self.op_stack: list[Operation] = []
         self.pending_update: PendingUpdate | None = None
+        # Global transaction id when this txn is a 2PC participant branch;
+        # set by TransactionManager.prepare().
+        self.gid: str | None = None
         # Scratch space for protection schemes (precheck dedup cache,
         # latches held across an update window, ...).
         self.scheme_state: dict = {}

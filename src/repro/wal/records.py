@@ -43,6 +43,7 @@ class RecordType(IntEnum):
     AUDIT_BEGIN = 8
     AUDIT_END = 9
     AMEND = 10
+    TXN_PREPARE = 11
 
 
 @dataclass(frozen=True)
@@ -179,6 +180,25 @@ class TxnCommitRecord(LogRecord):
 
 
 @dataclass(frozen=True, slots=True)
+class TxnPrepareRecord(LogRecord):
+    """Presumed-abort two-phase commit: the participant's prepare vote.
+
+    Written (and flushed) by a shard when the cross-shard router asks it
+    to prepare a distributed transaction.  ``gid`` is the router-assigned
+    global transaction id.  A prepared transaction keeps its locks and
+    stays in the ATT; restart recovery treats a prepare record with no
+    later commit/abort as *in doubt* and resolves it through the
+    coordinator's decision log -- absence of a decision means abort
+    (presumed abort needs no coordinator record for aborts).
+    """
+
+    gid: str = ""
+
+    def approx_size(self) -> int:
+        return 10 + len(self.gid)
+
+
+@dataclass(frozen=True, slots=True)
 class TxnAbortRecord(LogRecord):
     def approx_size(self) -> int:
         return 8
@@ -267,6 +287,7 @@ _F_TXN_BEGIN = struct.Struct("<BQB")  # type, txn_id, is_recovery
 _F_U64 = struct.Struct("<BQ")         # type, txn_id/audit_id
 _F_AUDIT_END = struct.Struct("<BQBII")
 _F_AMEND = struct.Struct("<BQQBII")
+_F_TXN_PREPARE = struct.Struct("<BQH")  # type, txn_id, gid_len
 _P_UPDATE = struct.Struct("<QqIQ")    # payload-only variants for decode
 _P_OP = struct.Struct("<QQB")
 _P_TXN_BEGIN = struct.Struct("<QB")
@@ -358,6 +379,15 @@ def _enc_u64(rtype: int):
     return enc
 
 
+def _enc_txn_prepare(r: TxnPrepareRecord, buf: bytearray) -> None:
+    gid = r.gid.encode("utf-8")
+    start = len(buf)
+    buf += _U32.pack(11 + len(gid))
+    buf += _F_TXN_PREPARE.pack(RecordType.TXN_PREPARE, r.txn_id, len(gid))
+    buf += gid
+    _append_crc(buf, start + 4)
+
+
 def _enc_audit_end(r: AuditEndRecord, buf: bytearray) -> None:
     regions = r.corrupt_regions
     start = len(buf)
@@ -401,6 +431,7 @@ _ENCODERS: dict[type, object] = {
     AuditBeginRecord: _enc_u64(RecordType.AUDIT_BEGIN),
     AuditEndRecord: _enc_audit_end,
     AmendRecord: _enc_amend,
+    TxnPrepareRecord: _enc_txn_prepare,
 }
 
 
@@ -473,6 +504,12 @@ def _dec_u64(klass):
     return dec
 
 
+def _dec_txn_prepare(data, pos: int, end: int) -> TxnPrepareRecord:
+    (txn_id,) = _P_U64.unpack_from(data, pos)
+    gid, _pos = _decode_str(data, pos + 8)
+    return TxnPrepareRecord(txn_id, gid)
+
+
 def _dec_audit_end(data, pos: int, end: int) -> AuditEndRecord:
     audit_id, clean, region_size, count = _P_AUDIT_END.unpack_from(data, pos)
     regions = struct.unpack_from(f"<{count}I", data, pos + 17)
@@ -500,6 +537,7 @@ _DECODERS: dict[int, object] = {
     RecordType.AUDIT_BEGIN: _dec_u64(AuditBeginRecord),
     RecordType.AUDIT_END: _dec_audit_end,
     RecordType.AMEND: _dec_amend,
+    RecordType.TXN_PREPARE: _dec_txn_prepare,
 }
 
 #: Record class -> wire type code, for building :func:`decode_record`
@@ -515,6 +553,7 @@ RECORD_TYPE_CODES: dict[type, int] = {
     AuditBeginRecord: RecordType.AUDIT_BEGIN,
     AuditEndRecord: RecordType.AUDIT_END,
     AmendRecord: RecordType.AMEND,
+    TxnPrepareRecord: RecordType.TXN_PREPARE,
 }
 
 
