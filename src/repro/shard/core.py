@@ -108,7 +108,18 @@ class ShardCore:
         txn = self._txns.pop(txn_id, None)
         if txn is None:
             raise ConfigError(f"no open transaction {txn_id}")
-        self.db.prepare(txn, gid)
+        try:
+            self.db.prepare(txn, gid)
+        except SimulatedCrash:
+            raise
+        except BaseException:
+            # A failed prepare must not orphan the branch: once popped
+            # from _txns it is reachable by neither ("abort", txn_id)
+            # nor ("decide", gid, ...), and an ACTIVE txn left behind
+            # holds its exclusive locks until restart.
+            if txn.status is TxnStatus.ACTIVE:
+                self.db.abort(txn)
+            raise
         self._prepared[gid] = txn
         return "prepared"
 

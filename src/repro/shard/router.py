@@ -9,9 +9,12 @@ commit.  The 2PC pieces are deliberately minimal:
 - *Participants* are ordinary shard databases.  A prepare is the branch's
   redo migration plus a :class:`~repro.wal.records.TxnPrepareRecord`
   (flushed) on that shard's own WAL -- no new log, no new codec.
-- *The coordinator's* only durable state is the decision log
+- *The coordinator's* durable state is the decision log
   (:class:`DecisionLog`): a fsync'd append-only file of committed gids.
   Absence means abort -- that is the whole presumed-abort protocol.
+  Gids carry a persisted incarnation epoch (``g<epoch>.<seq>``) so a
+  restarted coordinator can never mint a gid that collides with a
+  committed one from a prior life.
 - *Recovery* is per-shard and independent: each shard replays its own WAL
   through the existing :class:`~repro.recovery.restart.RestartRecovery`,
   which resolves any prepared branch it finds against the decision log.
@@ -43,6 +46,33 @@ from repro.shard.shard import LocalShard, ProcessShard, ShardCrashed
 from repro.storage.database import DBConfig
 
 DECISION_LOG_FILE = "2pc.decisions"
+EPOCH_FILE = "2pc.epoch"
+
+
+def _bump_epoch(dir_path: str) -> int:
+    """Advance and persist the coordinator incarnation counter.
+
+    Gids must be unique across coordinator restarts: the decision log
+    durably remembers committed gids from prior incarnations, so a
+    reused gid would let a crashed transaction's in-doubt branch resolve
+    against a stale decision.  ``len(decisions)`` cannot seed a sequence
+    either -- aborted gids are never written (presumed abort).  Each
+    incarnation therefore claims a fresh epoch, fsync'd before any gid
+    is handed out, and stamps it into every gid it generates.
+    """
+    path = os.path.join(dir_path, EPOCH_FILE)
+    epoch = 0
+    if os.path.exists(path):
+        with open(path, encoding="utf-8") as handle:
+            text = handle.read().strip()
+            if text:
+                epoch = int(text)
+    epoch += 1
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(f"{epoch}\n")
+        handle.flush()
+        os.fsync(handle.fileno())
+    return epoch
 
 
 class DecisionLog:
@@ -161,6 +191,7 @@ class ShardedDatabase:
         #: Router-side crash points (the ``twopc.pre_decide`` /
         #: ``after_decide`` / ``after_first_commit`` coordinator moments).
         self.crashpoints = crashpoints
+        self._epoch = _bump_epoch(config.dir)
         self._next_gid = 1
         self._closed = False
 
@@ -311,6 +342,7 @@ class ShardedDatabase:
         Cross-shard transactions need votes before a decision, so they
         always run synchronously via :meth:`submit_txn`.
         """
+        self._require_open()
         groups = self._split(ops)
         if len(groups) != 1:
             self.submit_txn(ops)
@@ -321,10 +353,61 @@ class ShardedDatabase:
     def drain(self) -> list:
         return [result for shard in self.shards for result in shard.drain()]
 
+    def _new_gid(self) -> str:
+        """A gid unique across all coordinator incarnations (epoch.seq)."""
+        gid = f"g{self._epoch}.{self._next_gid}"
+        self._next_gid += 1
+        return gid
+
+    def _abort_prepared(self, gid: str, prepared: list[int]) -> None:
+        """Send abort to every prepared branch, best-effort per shard.
+
+        One failing shard must not skip the rest: each remaining branch
+        holds exclusive locks until aborted.  Presumed abort makes a
+        swallowed failure safe -- that shard's restart recovery rolls
+        the branch back -- but live traffic on it blocks until then, so
+        we still try every shard.  Crash simulations propagate: the
+        whole node is dying and recovery handles everything.
+        """
+        for sid in prepared:
+            try:
+                self.shards[sid].call(("decide", gid, False))
+            except (SimulatedCrash, ShardCrashed):
+                raise
+            except Exception:
+                pass
+
+    def _commit_prepared(self, gid: str, prepared: list[int]) -> None:
+        """Send commit to every prepared branch after the decision is
+        durable.  A non-crash failure on one shard must not strand the
+        later participants holding locks, so every shard is attempted;
+        failures are collected and surfaced once -- the transaction IS
+        committed (the decision log says so), the failed branches just
+        wait for that shard's restart recovery to complete them.
+        """
+        failures: list[tuple[int, Exception]] = []
+        first = True
+        for sid in prepared:
+            try:
+                self.shards[sid].call(("decide", gid, True))
+            except (SimulatedCrash, ShardCrashed):
+                raise
+            except Exception as exc:
+                failures.append((sid, exc))
+            if first:
+                self.crashpoints.reach("twopc.after_first_commit")
+                first = False
+        if failures:
+            detail = "; ".join(f"shard {sid}: {exc}" for sid, exc in failures)
+            raise TwoPhaseCommitError(
+                f"transaction {gid} is committed, but delivering the "
+                f"decision failed on {detail}; restart recovery will "
+                f"complete those branches from the decision log"
+            )
+
     def _commit_two_phase(self, groups: dict[int, list]) -> None:
         """Presumed-abort 2PC over ``groups`` (shard id -> ops)."""
-        gid = f"g{self._next_gid}"
-        self._next_gid += 1
+        gid = self._new_gid()
         prepared: list[int] = []
         failure: BaseException | None = None
         for sid in sorted(groups):
@@ -341,20 +424,14 @@ class ShardedDatabase:
         if failure is not None:
             # Presumed abort: nothing durable names this gid; roll back
             # the branches that did prepare and surface the vote-no cause.
-            for sid in prepared:
-                self.shards[sid].call(("decide", gid, False))
+            self._abort_prepared(gid, prepared)
             raise TwoPhaseCommitError(
                 f"transaction {gid} aborted: {failure}"
             ) from failure
         self.crashpoints.reach("twopc.pre_decide")
         self.decisions.append(gid)
         self.crashpoints.reach("twopc.after_decide")
-        first = True
-        for sid in prepared:
-            self.shards[sid].call(("decide", gid, True))
-            if first:
-                self.crashpoints.reach("twopc.after_first_commit")
-                first = False
+        self._commit_prepared(gid, prepared)
 
     def commit_session(self, open_txns: dict[int, int]) -> None:
         """Commit a session's open per-shard transactions (serve front).
@@ -370,8 +447,7 @@ class ShardedDatabase:
             ((sid, txn_id),) = open_txns.items()
             self.shards[sid].call(("commit", txn_id))
             return
-        gid = f"g{self._next_gid}"
-        self._next_gid += 1
+        gid = self._new_gid()
         prepared: list[int] = []
         failure: BaseException | None = None
         for sid in sorted(open_txns):
@@ -384,8 +460,7 @@ class ShardedDatabase:
                 failure = exc
                 break
         if failure is not None:
-            for sid in prepared:
-                self.shards[sid].call(("decide", gid, False))
+            self._abort_prepared(gid, prepared)
             for sid in sorted(open_txns):
                 if sid not in prepared:
                     try:
@@ -398,12 +473,7 @@ class ShardedDatabase:
         self.crashpoints.reach("twopc.pre_decide")
         self.decisions.append(gid)
         self.crashpoints.reach("twopc.after_decide")
-        first = True
-        for sid in prepared:
-            self.shards[sid].call(("decide", gid, True))
-            if first:
-                self.crashpoints.reach("twopc.after_first_commit")
-                first = False
+        self._commit_prepared(gid, prepared)
 
     # -------------------------------------------------- admin / queries
 

@@ -17,9 +17,15 @@ import os
 import pytest
 
 from repro import CrashPointRegistry, Database, DBConfig, Field, FieldType, Schema
-from repro.errors import SimulatedCrash, TransactionError, TwoPhaseCommitError
+from repro.errors import (
+    ShardError,
+    SimulatedCrash,
+    TransactionError,
+    TwoPhaseCommitError,
+)
 from repro.faults.crashpoints import CRASH_POINTS, TWOPC_CRASH_POINTS
 from repro.shard import DecisionLog, ShardedConfig, ShardedDatabase
+from repro.shard.core import ShardCore
 from repro.txn.transaction import TxnStatus
 from repro.wal.records import (
     RECORD_TYPE_CODES,
@@ -287,3 +293,149 @@ class TestTwoPcCrashMatrix:
         # Each shard's recovery resolved exactly one in-doubt branch.
         assert [len(r.resolved_committed) for r in reports] == [1, 1]
         recovered.close()
+
+
+class TestTwoPcHardening:
+    """Regression tests for the 2PC hardening fixes: gid uniqueness
+    across coordinator incarnations, exception-safe session prepare,
+    guarded decide fan-out, and the closed-router nowait check."""
+
+    def test_gids_survive_coordinator_restart(self, tmp_path):
+        """A restarted coordinator must never mint a gid that collides
+        with a committed gid from a prior life: a crashed transaction's
+        in-doubt branch would resolve against the stale decision-log
+        entry and COMMIT, half-applying a transfer nobody decided."""
+        db, config = _build_sharded(tmp_path, "epoch")
+        db.submit_txn(TRANSFER)  # incarnation 1 commits a gid durably
+        assert len(db.decisions) == 1
+        db.close()
+
+        # Incarnation 2: shard 0 prepares, then shard 1 dies before its
+        # prepare -- the classic in-doubt single branch.
+        registries = [CrashPointRegistry(), CrashPointRegistry()]
+        registries[1].arm("twopc.pre_prepare")
+        second, _ = ShardedDatabase.recover(config, shard_crashpoints=registries)
+        with pytest.raises(SimulatedCrash):
+            second.submit_txn(TRANSFER)
+        second.crash()
+
+        # Nothing durable decided the second transfer, so recovery must
+        # presume abort.  With a reused gid it would instead find the
+        # FIRST transfer's commit decision and apply only the debit.
+        third, _ = ShardedDatabase.recover(config)
+        assert _balances(third) == (70, 130)
+        third.close()
+
+    def test_incarnation_epoch_is_monotone(self, tmp_path):
+        db, config = _build_sharded(tmp_path, "monotone")
+        first_epoch = db._epoch
+        db.close()
+        second, _ = ShardedDatabase.recover(config)
+        assert second._epoch > first_epoch
+        second.close()
+
+    def test_failed_session_prepare_releases_the_branch(
+        self, tmp_path, monkeypatch
+    ):
+        """If ``("prepare", txn_id, gid)`` fails mid-call the branch must
+        be aborted, not left ACTIVE in the ATT holding exclusive locks
+        while reachable by neither abort-by-txn-id nor decide-by-gid."""
+        config = DBConfig(dir=str(tmp_path / "prep-fail"), scheme="data_codeword")
+        core = ShardCore.create(config, [("account", ACCOUNT_SCHEMA, 32, "aid")])
+        setup = core.execute(("begin",))
+        core.execute(("op", setup, ("insert", "account", {"aid": 1, "balance": 100})))
+        core.execute(("commit", setup))
+
+        txn_id = core.execute(("begin",))
+        core.execute(("op", txn_id, ("update_key", "account", 1, {"balance": 50})))
+
+        def boom(txn, gid):
+            raise RuntimeError("prepare I/O failure")
+
+        monkeypatch.setattr(core.db, "prepare", boom)
+        with pytest.raises(RuntimeError):
+            core.execute(("prepare", txn_id, "gX"))
+        monkeypatch.undo()
+
+        assert not core._txns and not core._prepared
+        # Locks released and the update rolled back: a new transaction
+        # can write the same key immediately (locks fail fast, so a
+        # leaked lock would raise LockError here).
+        redo = core.execute(("begin",))
+        core.execute(("op", redo, ("update_key", "account", 1, {"balance": 75})))
+        core.execute(("commit", redo))
+        assert core.execute(("sum_field", "account", "balance")) == 75
+        core.execute(("close",))
+
+    def test_commit_decide_failure_still_commits_remaining(self, tmp_path):
+        """A non-crash failure delivering one shard's commit decision
+        must not strand the other prepared participants: they get their
+        decision, the error reports the transaction as committed, and
+        the failed shard completes its branch on restart recovery."""
+        db, config = _build_sharded(tmp_path, "decide-fail")
+        orig = db.shards[0].call
+
+        def flaky(cmd):
+            if cmd[0] == "decide":
+                raise RuntimeError("lost response")
+            return orig(cmd)
+
+        db.shards[0].call = flaky
+        with pytest.raises(TwoPhaseCommitError) as err:
+            db.submit_txn(TRANSFER)
+        assert "is committed" in str(err.value)
+        db.shards[0].call = orig
+
+        # The decision is durable and shard 1 applied its credit even
+        # though shard 0's decide failed first.
+        assert len(db.decisions) == 1
+        assert db.submit_txn([("query", "account", 1)])[0]["balance"] == 130
+        # Shard 0's prepared branch completes on restart recovery.
+        db.crash()
+        recovered, _ = ShardedDatabase.recover(config)
+        assert _balances(recovered) == (70, 130)
+        recovered.close()
+
+    def test_abort_decide_failure_still_aborts_remaining(self, tmp_path):
+        """In the vote-no path, one shard's failing abort must not skip
+        aborting the other prepared branches (their locks would wedge
+        later transactions until restart)."""
+        config = ShardedConfig(
+            dir=str(tmp_path / "abort-fail"),
+            n_shards=3,
+            mode="inproc",
+            branches=3,
+            scheme="data_codeword",
+        )
+        db = ShardedDatabase.create(config, [("account", ACCOUNT_SCHEMA, 32, "aid")])
+        for aid in range(3):
+            db.submit_txn([("insert", "account", {"aid": aid, "balance": 100})])
+        orig = db.shards[0].call
+
+        def flaky(cmd):
+            if cmd[0] == "decide":
+                raise RuntimeError("lost response")
+            return orig(cmd)
+
+        db.shards[0].call = flaky
+        bad = [
+            ("add", "account", 0, "balance", -30),
+            ("add", "account", 1, "balance", 15),
+            ("add", "account", 1001, "balance", 15),  # shard 2: vote no
+        ]
+        with pytest.raises(TwoPhaseCommitError):
+            db.submit_txn(bad)
+        db.shards[0].call = orig
+
+        assert len(db.decisions) == 0
+        # Shard 1's branch was aborted despite shard 0's failure: its
+        # key is immediately writable and its balance unchanged.
+        db.submit_txn([("add", "account", 1, "balance", 1)])
+        assert db.submit_txn([("query", "account", 1)])[0]["balance"] == 101
+        db.close()
+
+    def test_nowait_after_close_raises(self, tmp_path):
+        db, _ = _build_sharded(tmp_path, "closed-nowait")
+        db.close()
+        with pytest.raises(ShardError):
+            db.submit_txn_nowait([("add", "account", 0, "balance", 1)])
