@@ -13,6 +13,7 @@ Usage::
     python -m repro.bench --serving --serving-quick   # CI smoke variant
     python -m repro.bench --replication   # hot-standby detection/failover gate
     python -m repro.bench --sharded       # shard-per-core scale-up curves
+    python -m repro.bench --chaos         # supervised worker-kill/hang soak
 
 Each suite registers its flags, selection predicate and runner as a
 :class:`repro.bench.suites.Suite`; this module only assembles the
@@ -21,6 +22,7 @@ registry, so a new suite is one import plus one tuple entry.
 
 from __future__ import annotations
 
+from repro.bench.chaos import CHAOS_SUITE
 from repro.bench.replication import REPLICATION_SUITE
 from repro.bench.serving import SERVING_SUITE
 from repro.bench.sharded import SHARDED_SUITE
@@ -42,6 +44,7 @@ SUITES = (
     SERVING_SUITE,
     REPLICATION_SUITE,
     SHARDED_SUITE,
+    CHAOS_SUITE,
     PROFILE_SUITE,
 )
 

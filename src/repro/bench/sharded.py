@@ -53,11 +53,17 @@ from repro.shard import ShardedConfig, ShardedDatabase
 
 SHARDED_JSON_VERSION = 1
 
-#: Wild-write payload: 8 bytes over the balance field (offset 16) of an
+#: Wild writes scribble 8 bytes over the balance field (offset 16) of an
 #: account record -- corruption a balance-sum check alone would miss
-#: until read, but a codeword audit flags immediately.
-_WILD_BYTES = b"\xde\xad\xbe\xef\xfe\xed\xfa\xce"
+#: until read, but a codeword audit flags immediately.  Each injection
+#: gets a *unique* payload: the audit folds a region with XOR, so two
+#: identical scribbles over identical old bytes in one region cancel
+#: exactly and become invisible by construction.
 _BALANCE_OFFSET = 16
+
+
+def _wild_payload(rng: random.Random) -> bytes:
+    return bytes(rng.randrange(256) for _ in range(8))
 
 
 @dataclass(frozen=True)
@@ -369,7 +375,7 @@ def run_sharded_fault_campaign(base_dir: str, config: ShardedBenchConfig) -> dic
             )
         ]
         injected = [
-            db.wild_write("account", aid, _BALANCE_OFFSET, _WILD_BYTES)
+            db.wild_write("account", aid, _BALANCE_OFFSET, _wild_payload(rng))
             for aid in cold_aids
         ]
 

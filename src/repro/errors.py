@@ -4,13 +4,45 @@ Every error raised by this package derives from :class:`ReproError`, so
 callers can catch one base class at an API boundary.  Corruption-related
 conditions carry enough structure (addresses, region ids, transaction ids)
 for the recovery machinery to act on them programmatically.
+
+Every error also answers one question a caller can act on without
+inspecting its type: **is retrying this operation safe and potentially
+useful?**  ``exc.retryable`` is ``True`` exactly when (a) the failed
+operation left no partial durable effect the caller could double-apply
+by retrying, and (b) the condition is transient -- load, contention, or
+a shard that the supervisor is already bringing back.  The full
+classification contract lives in ``docs/errors.md``.
 """
 
 from __future__ import annotations
 
 
 class ReproError(Exception):
-    """Base class for all errors raised by the repro package."""
+    """Base class for all errors raised by the repro package.
+
+    ``retryable`` is a class-level default; see :class:`RetryableError`
+    for the conditions under which a subclass (or an instance -- the
+    attribute may be overridden per raise) advertises ``True``.
+    """
+
+    #: Whether retrying the failed operation is safe and potentially
+    #: useful.  ``False`` by default: unknown errors must not be retried
+    #: blindly (the operation may have partially applied).
+    retryable = False
+
+
+class RetryableError(ReproError):
+    """Marker base for transient errors that are safe to retry.
+
+    A subclass promises two things: the failed operation left **no
+    durable effect** that a retry could double-apply, and the condition
+    is **transient** -- backing off and retrying (possibly after the
+    supervisor repairs a shard) can succeed.  The serving layer copies
+    this flag into :class:`~repro.serve.protocol.Response.retryable` so
+    remote clients get the same contract without type introspection.
+    """
+
+    retryable = True
 
 
 class ConfigError(ReproError):
@@ -75,6 +107,10 @@ class QuarantinedRegionError(CorruptionDetected):
     (or triggers a transparent repair under ``quarantine_repair=True``)
     so known-corrupt bytes are never served as data.  Subclasses
     :class:`CorruptionDetected` so existing handlers keep working.
+
+    Deliberately **not** retryable: the bytes stay corrupt until a
+    repair runs, so an immediate retry hits the same quarantine.  Run
+    (or wait for) ``repair_quarantined()``, then retry.
     """
 
     def __init__(self, region_ids: list[int], address: int = 0, length: int = 0):
@@ -104,7 +140,46 @@ class LatchError(ReproError):
 
 
 class LockError(ReproError):
-    """Logical lock misuse or (in tests) an induced lock conflict."""
+    """Logical lock misuse or (in tests) an induced lock conflict.
+
+    A *conflict* (another transaction holds the key) is transient --
+    the lock manager is non-blocking, nothing was acquired, and the
+    holder will finish -- so lock errors are retryable.  Misuse (bad
+    duration string) shares the class but is caught in development.
+
+    Conflicts carry the holding transaction id (``holder_txn_id``) so
+    the cross-shard deadlock detector can build wait-for edges.  The
+    id also rides in the message (``"... by transaction N"``) because
+    worker-process errors cross the pipe as strings;
+    :func:`lock_holder_from_detail` recovers it on the other side.
+    """
+
+    retryable = True
+
+    def __init__(self, message: str, holder_txn_id: int | None = None):
+        super().__init__(message)
+        self.holder_txn_id = holder_txn_id
+
+
+def lock_holder_from_detail(detail: str) -> int | None:
+    """Recover a conflict's holder txn id from a stringified LockError.
+
+    Worker-process shards report errors over a pipe as ``(class name,
+    message)`` pairs, so structured attributes are lost; the holder id
+    survives only in the message text.  Returns ``None`` when the text
+    is not a conflict message.
+    """
+    marker = " by transaction "
+    index = detail.rfind(marker)
+    if index < 0:
+        return None
+    tail = detail[index + len(marker):].strip()
+    digits = ""
+    for ch in tail:
+        if not ch.isdigit():
+            break
+        digits += ch
+    return int(digits) if digits else None
 
 
 class TransactionError(ReproError):
@@ -182,12 +257,13 @@ class ServeError(ReproError):
     """Serving front-end misuse (closed session, unknown op...)."""
 
 
-class BackpressureError(ServeError):
+class BackpressureError(RetryableError, ServeError):
     """The server's admission queue is full; retry after backoff.
 
     Raised to the *submitting* client instead of growing the queue
     without bound -- the server sheds load at admission, it does not
-    melt down under it.
+    melt down under it.  Retryable: the request was never admitted,
+    so nothing was applied.
     """
 
 
@@ -197,4 +273,91 @@ class ShardError(ReproError):
 
 
 class TwoPhaseCommitError(ShardError):
-    """A cross-shard transaction could not reach a consistent outcome."""
+    """A cross-shard transaction could not reach a consistent outcome
+    in this round trip.
+
+    Two very different conditions share the type, told apart by
+    ``committed``:
+
+    * ``committed=False`` -- presumed abort.  No decision was made
+      durable, every prepared branch rolls back (now or at that
+      shard's restart), so the *whole transaction* is safe to retry:
+      ``retryable`` is ``True``.
+    * ``committed=True`` -- the decision log holds the commit but
+      delivering it to some participant failed.  The transaction IS
+      committed; retrying it would apply it twice, so ``retryable``
+      is ``False``.  Under supervision this state never surfaces: the
+      :class:`~repro.shard.supervisor.ShardSupervisor` queues the
+      undelivered decision and completes it, and the router reports
+      success.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        gid: str | None = None,
+        committed: bool = False,
+        undelivered: tuple[int, ...] = (),
+    ):
+        super().__init__(message)
+        self.gid = gid
+        self.committed = committed
+        #: Shard ids still owed the commit decision (``committed=True``).
+        self.undelivered = tuple(undelivered)
+        self.retryable = not committed
+
+
+class ShardUnavailableError(RetryableError, ShardError):
+    """The shard is down, hung, or mid-recovery; fail fast and retry.
+
+    Raised *instead of blocking on a dead worker pipe*: the supervisor
+    marks a crashed/hung shard and every routed call to it returns this
+    immediately until the shard's recovery certifies and it rejoins.
+    Nothing was applied (the call never reached a serving shard), so
+    the error is retryable; surviving shards keep serving throughout.
+    """
+
+    def __init__(self, shard_id: int, state: str, detail: str = ""):
+        suffix = f": {detail}" if detail else ""
+        super().__init__(f"shard {shard_id} is {state}{suffix}")
+        self.shard_id = shard_id
+        self.state = state
+
+
+class ShardTimeoutError(ShardUnavailableError):
+    """A shard call exceeded its deadline; the worker is presumed hung.
+
+    The pipe to the worker is poisoned by the timeout (a late reply
+    would desynchronize the FIFO), so the supervisor restarts the
+    worker exactly as if it had died.  The timed-out call's outcome is
+    *indeterminate* until that restart recovery runs -- uncommitted
+    work rolls back, which is what makes the error safe to mark
+    retryable at the transaction level.
+    """
+
+    def __init__(self, shard_id: int, timeout_s: float):
+        ShardError.__init__(
+            self,
+            f"shard {shard_id} did not answer within {timeout_s:.3f}s; "
+            "worker presumed hung, pipe poisoned",
+        )
+        self.shard_id = shard_id
+        self.state = "hung"
+        self.timeout_s = timeout_s
+
+
+class DeadlockError(RetryableError, ShardError):
+    """A cross-shard wait-for cycle convicted this session (youngest
+    victim).  Its open branches are rolled back on every shard; the
+    whole transaction is safe to retry and the surviving sessions in
+    the cycle proceed.
+    """
+
+    def __init__(self, victim: int, cycle: tuple[int, ...]):
+        chain = " -> ".join(str(s) for s in cycle)
+        super().__init__(
+            f"session {victim} aborted to break cross-shard deadlock "
+            f"cycle [{chain}]"
+        )
+        self.victim = victim
+        self.cycle = tuple(cycle)

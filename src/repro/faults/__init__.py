@@ -1,7 +1,9 @@
 """Fault injection: the addressing errors the paper defends against,
-plus named crash points at every durability boundary and the campaign
-runner that schedules both (``repro.faults.campaign``, imported lazily
-to keep this package light)."""
+plus named crash points at every durability boundary, worker-level
+faults (kill/hang/sever a shard worker -- what the shard supervisor
+defends against) and the campaign runner that schedules both
+(``repro.faults.campaign``, imported lazily to keep this package
+light)."""
 
 from repro.faults.crashpoints import (
     CRASH_POINTS,
@@ -10,6 +12,13 @@ from repro.faults.crashpoints import (
     CrashPointRegistry,
 )
 from repro.faults.injector import CorruptionEvent, FaultInjector, tear_log_tail
+from repro.faults.workers import (
+    hang_worker,
+    kill_after_decision,
+    kill_on_command,
+    kill_worker,
+    sever_pipe,
+)
 
 __all__ = [
     "FaultInjector",
@@ -19,4 +28,9 @@ __all__ = [
     "CRASH_POINTS",
     "FORWARD_CRASH_POINTS",
     "RECOVERY_CRASH_POINTS",
+    "hang_worker",
+    "kill_after_decision",
+    "kill_on_command",
+    "kill_worker",
+    "sever_pipe",
 ]

@@ -62,8 +62,13 @@ class Response:
 
     ``ok=False`` carries the error class name (``error``) and message
     (``detail``); the session's transaction -- if one was open -- has
-    already been rolled back, so the client may immediately retry with a
-    fresh ``begin``.
+    already been rolled back (except lock conflicts at the sharded
+    front-end, which keep the transaction open for retry), so the client
+    may immediately retry.  ``retryable`` mirrors the error taxonomy's
+    contract (see ``docs/errors.md``): ``True`` means retrying the same
+    work cannot double-apply anything and the condition is transient --
+    back off and resubmit; ``False`` means a retry needs new information
+    (fix the request, or check outcome first).
     """
 
     ok: bool
@@ -72,3 +77,4 @@ class Response:
     value: object = None
     error: str | None = None
     detail: str = ""
+    retryable: bool = False

@@ -55,6 +55,7 @@ class Server:
         queue_depth: int = 64,
         workers: int = 4,
         read_only: bool = False,
+        threaded: bool | None = None,
     ) -> None:
         if queue_depth < 1:
             raise ServeError(f"queue_depth must be >= 1: {queue_depth}")
@@ -64,9 +65,13 @@ class Server:
         #: A replica front-end: every session rejects mutating ops until
         #: :meth:`promote_to_primary` flips the flag after failover.
         self.read_only = read_only
-        self.threaded = (
-            db.scheduler is not None and db.scheduler.mode == THREADED
-        )
+        if threaded is None:
+            # Autodetect from the database's scheduler mode.  Fronts with
+            # no single scheduler (the shard router runs one per worker)
+            # pass ``threaded`` explicitly.
+            scheduler = getattr(db, "scheduler", None)
+            threaded = scheduler is not None and scheduler.mode == THREADED
+        self.threaded = threaded
         self.queue_depth = queue_depth
         self._sessions: dict[int, Session] = {}
         self._next_session_id = 1
@@ -91,12 +96,15 @@ class Server:
         with self._guard:
             if self._closed:
                 raise ServeError("server is closed")
-            session = Session(
-                self.db, self._next_session_id, read_only=self.read_only
-            )
+            session = self._make_session(self._next_session_id)
             self._next_session_id += 1
             self._sessions[session.session_id] = session
             return session
+
+    def _make_session(self, session_id: int) -> Session:
+        """Session factory, overridden by fronts with richer sessions
+        (the sharded front-end builds router-backed sessions here)."""
+        return Session(self.db, session_id, read_only=self.read_only)
 
     def promote_to_primary(self) -> None:
         """After a certified failover, start admitting writes.

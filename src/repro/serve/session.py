@@ -169,6 +169,7 @@ class Session:
             request_id=request.request_id,
             error=type(exc).__name__,
             detail=str(exc),
+            retryable=bool(getattr(exc, "retryable", False)),
         )
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid

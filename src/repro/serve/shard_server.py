@@ -1,0 +1,313 @@
+"""The sharded serving front-end: router sessions behind the server.
+
+:class:`ShardServer` puts :class:`~repro.shard.router.ShardRouter`
+behind the same bounded-admission :class:`~repro.serve.server.Server`
+that fronts a single database: sessions speak the identical
+request/response protocol, threaded mode runs them on the worker pool
+(bounded queue, backpressure at admission), and contained errors carry
+the taxonomy's ``retryable`` bit so a remote client knows whether to
+back off and resubmit.  Under a
+:class:`~repro.shard.supervisor.ShardSupervisor` this is degraded-mode
+serving end to end: a request touching a recovering shard gets a
+fail-fast retryable ``ShardUnavailableError`` response while sessions on
+surviving shards proceed untouched.
+
+The front-end also hosts the **cross-shard deadlock detector**.  Locks
+in this system fail fast (a conflict raises
+:class:`~repro.errors.LockError` immediately; no thread ever blocks
+inside a shard), so a "deadlock" here is a *retry livelock*: two
+sessions each hold a key the other needs and both retry forever.  Per
+conflict the session reports a wait-for edge -- waiter session ->
+session holding the conflicting shard-local transaction -- into a
+:class:`~repro.shard.supervisor.WaitForGraph`; a cycle convicts the
+**youngest** member (largest transaction sequence number), whose open
+branches are rolled back on every shard and who gets a retryable
+:class:`~repro.errors.DeadlockError`, while the older sessions in the
+cycle proceed.  Two deliberate consequences of fail-fast locks:
+
+* a session does **not** roll back on a lock conflict -- its other
+  branches stay open (that is what lets a cycle exist to be detected),
+  and the conflict response is retryable so the client resubmits just
+  the failed op;
+* a convicted session that is not the current waiter learns its fate at
+  its *next* request (nobody is blocked, so there is no thread to wake).
+"""
+
+from __future__ import annotations
+
+import threading
+
+from repro.errors import (
+    DeadlockError,
+    LockError,
+    ReproError,
+    ServeError,
+    SimulatedCrash,
+    lock_holder_from_detail,
+)
+from repro.serve.protocol import Request, Response
+from repro.serve.server import Server
+from repro.shard.router import ShardedDatabase, ShardRouter
+from repro.shard.shard import ShardCrashed
+from repro.shard.supervisor import WaitForGraph
+
+
+class ShardSession(ShardRouter):
+    """One client session on the sharded database.
+
+    A :class:`ShardRouter` (per-shard branch bookkeeping, slot tagging,
+    2PC on commit) wearing the serve layer's session contract: serialized
+    execution, error containment, per-session counters -- plus the
+    deadlock-detection hooks described in the module docstring.
+    """
+
+    def __init__(
+        self, server: "ShardServer", db: ShardedDatabase, session_id: int
+    ) -> None:
+        super().__init__(db)
+        self.server = server
+        self.session_id = session_id
+        self.closed = False
+        self._serial = threading.Lock()
+        #: Global age order for youngest-victim selection, assigned at
+        #: ``begin`` (shard-local txn ids collide across shards).
+        self.txn_seq = 0
+        #: Set by the detector when this session is convicted while not
+        #: the current waiter; consumed at the next request.
+        self._victim_cycle: tuple[int, ...] | None = None
+        self._last_shard: int | None = None
+        self._branches: list[tuple[int, int]] = []
+        self._waiting = False
+        self.requests_served = 0
+        self.errors_contained = 0
+        self.deadlock_aborts = 0
+        self.txns_committed = 0
+        self.txns_aborted = 0
+
+    # ----------------------------------------------------------- execute
+
+    def execute(self, request: Request) -> Response:
+        """Run one request; never raises for contained errors."""
+        with self._serial:
+            if self.closed:
+                return self._error(request, ServeError("session is closed"))
+            pending = self._consume_conviction()
+            if pending is not None:
+                return self._error(request, pending)
+            try:
+                value = self._dispatch(request)
+            except SimulatedCrash:
+                raise
+            except ShardCrashed:
+                raise  # unsupervised process mode: the caller recovers
+            except LockError as exc:
+                return self._on_lock_conflict(request, exc)
+            except ReproError as exc:
+                self._rollback()
+                self.errors_contained += 1
+                return self._error(request, exc)
+            if self._waiting:
+                self._waiting = False
+                self.server._graph_progress(self.session_id)
+            self.requests_served += 1
+            return Response(
+                ok=True, op=request.op, request_id=request.request_id, value=value
+            )
+
+    def _consume_conviction(self) -> DeadlockError | None:
+        """The detector convicted us since our last request; abort now."""
+        cycle = self._victim_cycle
+        if cycle is None:
+            return None
+        self._victim_cycle = None
+        if not self._in_txn:
+            return None  # the cycle already broke (we committed/aborted)
+        self._rollback()
+        self.deadlock_aborts += 1
+        self.errors_contained += 1
+        return DeadlockError(self.session_id, cycle)
+
+    def _on_lock_conflict(self, request: Request, exc: LockError) -> Response:
+        """A shard refused a lock.  Crucially we do NOT roll back: our
+        other branches keep their locks (the precondition for a cycle to
+        exist), and the client retries just this op.  The conflict is
+        reported as a wait-for edge; if that closes a cycle with us as
+        the youngest member, we abort instead."""
+        holder_txn = exc.holder_txn_id
+        if holder_txn is None:
+            # Process-mode workers report errors as strings; the holder
+            # id survives in the message text.
+            holder_txn = lock_holder_from_detail(str(exc))
+        cycle = None
+        if holder_txn is not None and self._last_shard is not None:
+            self._waiting = True
+            cycle = self.server._on_wait(
+                self.session_id, self._last_shard, holder_txn
+            )
+        self.errors_contained += 1
+        if cycle is not None:
+            self._rollback()
+            self.deadlock_aborts += 1
+            return self._error(request, DeadlockError(self.session_id, cycle))
+        return self._error(request, exc)
+
+    # ------------------------------------------------- router overrides
+
+    def _dispatch(self, request: Request):
+        op = request.op
+        if op == "begin":
+            value = super()._dispatch(request)
+            self.txn_seq = self.server._next_txn_seq()
+            return value
+        if op in ("commit", "abort"):
+            try:
+                value = super()._dispatch(request)
+            finally:
+                # Locks are gone either way (commit, abort, or 2PC
+                # failure fan-out); stop advertising the branches.
+                self._release_branches()
+            if op == "commit":
+                self.txns_committed += 1
+            else:
+                self.txns_aborted += 1
+            return value
+        return super()._dispatch(request)
+
+    def _shard_op(self, shard_id: int, op: tuple):
+        # Remember where the op ran so a LockError can be attributed to
+        # (shard, holder txn) -- txn ids alone collide across shards.
+        self._last_shard = shard_id
+        return super()._shard_op(shard_id, op)
+
+    def _on_branch_open(self, shard_id: int, txn_id: int) -> None:
+        self._branches.append((shard_id, txn_id))
+        self.server._register_holder(shard_id, txn_id, self.session_id)
+
+    def _rollback(self) -> None:
+        super()._rollback()
+        if self._in_txn is False:
+            self._release_branches()
+
+    def _release_branches(self) -> None:
+        branches, self._branches = self._branches, []
+        self._waiting = False
+        self._victim_cycle = None
+        self.server._release(self.session_id, branches)
+
+    # ----------------------------------------------------------- plumbing
+
+    def close(self) -> None:
+        with self._serial:
+            if self.closed:
+                return
+            self.closed = True
+            if self._in_txn:
+                self._rollback()
+                self.txns_aborted += 1
+            self._release_branches()
+
+    def _error(self, request: Request, exc: Exception) -> Response:
+        return Response(
+            ok=False,
+            op=request.op,
+            request_id=request.request_id,
+            error=type(exc).__name__,
+            detail=str(exc),
+            retryable=bool(getattr(exc, "retryable", False)),
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "closed" if self.closed else ("in-txn" if self._in_txn else "idle")
+        return f"ShardSession(id={self.session_id}, {state})"
+
+
+class ShardServer(Server):
+    """Bounded-admission serving over a :class:`ShardedDatabase`.
+
+    ``threaded`` must be passed explicitly (default inline/deterministic)
+    -- the router has no single scheduler to autodetect from, each shard
+    runs its own inside its worker.
+    """
+
+    def __init__(
+        self,
+        db: ShardedDatabase,
+        *,
+        queue_depth: int = 64,
+        workers: int = 4,
+        threaded: bool = False,
+    ) -> None:
+        super().__init__(
+            db, queue_depth=queue_depth, workers=workers, threaded=threaded
+        )
+        self.graph = WaitForGraph()
+        self._graph_lock = threading.Lock()
+        #: (shard id, shard-local txn id) -> holding session id.
+        self._holders: dict[tuple[int, int], int] = {}
+        self._txn_seq = 0
+        self.deadlocks_broken = 0
+
+    def _make_session(self, session_id: int) -> ShardSession:
+        return ShardSession(self, self.db, session_id)
+
+    def _next_txn_seq(self) -> int:
+        with self._graph_lock:
+            self._txn_seq += 1
+            return self._txn_seq
+
+    # -------------------------------------------------- wait-for graph
+
+    def _register_holder(self, shard_id: int, txn_id: int, session_id: int) -> None:
+        with self._graph_lock:
+            self._holders[(shard_id, txn_id)] = session_id
+
+    def _release(self, session_id: int, branches: list[tuple[int, int]]) -> None:
+        """A session's transaction ended: its branches stop holding, its
+        waits are stale, and nobody can be waiting on it any more."""
+        with self._graph_lock:
+            for branch in branches:
+                self._holders.pop(branch, None)
+            self.graph.clear_waiter(session_id)
+            self.graph.clear_holder(session_id)
+
+    def _graph_progress(self, session_id: int) -> None:
+        with self._graph_lock:
+            self.graph.clear_waiter(session_id)
+
+    def _on_wait(
+        self, waiter_id: int, shard_id: int, holder_txn: int
+    ) -> tuple[int, ...] | None:
+        """Record one conflict edge; detect and break any cycle.
+
+        Returns the cycle when the *waiter itself* is convicted (the
+        caller aborts immediately); a convicted third party is flagged
+        and aborts at its next request.
+        """
+        with self._graph_lock:
+            holder_id = self._holders.get((shard_id, holder_txn))
+            if holder_id is None or holder_id == waiter_id:
+                return None
+            self.graph.add(waiter_id, holder_id)
+            cycle = self.graph.cycle_from(waiter_id)
+            if cycle is None:
+                return None
+            victim = max(
+                cycle, key=lambda sid: self._session_age(sid)
+            )
+            self.deadlocks_broken += 1
+            # The victim will abort; drop its waits now so the cycle is
+            # broken in the graph (its holds clear when it rolls back).
+            self.graph.clear_waiter(victim)
+            if victim == waiter_id:
+                return cycle
+            victim_session = self._sessions.get(victim)
+            if victim_session is not None:
+                victim_session._victim_cycle = cycle
+            return None
+
+    def _session_age(self, session_id: int) -> int:
+        session = self._sessions.get(session_id)
+        return session.txn_seq if session is not None else -1
+
+
+__all__ = ["ShardServer", "ShardSession"]

@@ -15,6 +15,12 @@ own WAL codec, the coordinator's commit decisions live in a durable
 decision log, and the existing :class:`~repro.recovery.restart.
 RestartRecovery` resolves in-doubt branches against that log at restart --
 shard recoveries are independent and run in parallel.
+
+:mod:`repro.shard.supervisor` closes the loop from detection to repair:
+heartbeat-driven crash/hang detection, automatic restart with certified
+(audited) recovery, replay of undelivered 2PC commit decisions, and
+degraded-mode serving (fail-fast retryable errors for a shard that is
+mid-recovery while the survivors keep serving).
 """
 
 from repro.shard.core import ShardCore
@@ -26,6 +32,11 @@ from repro.shard.router import (
     ShardRouter,
 )
 from repro.shard.shard import LocalShard, ProcessShard
+from repro.shard.supervisor import (
+    ShardSupervisor,
+    SupervisorConfig,
+    WaitForGraph,
+)
 
 __all__ = [
     "DecisionLog",
@@ -34,7 +45,10 @@ __all__ = [
     "ProcessShard",
     "ShardCore",
     "ShardRouter",
+    "ShardSupervisor",
     "ShardedConfig",
     "ShardedDatabase",
+    "SupervisorConfig",
+    "WaitForGraph",
     "shard_capacity",
 ]

@@ -17,6 +17,7 @@ ops)`` is its 2PC twin, ending in a prepare vote instead of a commit.
 
 from __future__ import annotations
 
+import time
 from typing import Callable
 
 from repro.core.codeword import fold_words
@@ -313,6 +314,16 @@ class ShardCore:
 
     def _cmd_ping(self) -> str:
         return "pong"
+
+    def _cmd_hang(self, seconds: float) -> str:
+        """Fault injection: stall the shard's command loop.
+
+        In process mode the worker sleeps on its single command thread,
+        so the shard stops answering -- the deterministic stand-in for
+        an infinite loop or a lost thread, which the supervisor must
+        detect by heartbeat timeout rather than by process death."""
+        time.sleep(seconds)
+        return "woke"
 
     def _cmd_crash(self) -> None:
         self.db.crash()

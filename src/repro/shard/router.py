@@ -30,11 +30,13 @@ tagged with their shard.
 from __future__ import annotations
 
 import os
+import time
 from dataclasses import dataclass, field as dc_field
 
 from repro.errors import (
     ConfigError,
     ShardError,
+    ShardUnavailableError,
     SimulatedCrash,
     TwoPhaseCommitError,
 )
@@ -194,6 +196,20 @@ class ShardedDatabase:
         self._epoch = _bump_epoch(config.dir)
         self._next_gid = 1
         self._closed = False
+        #: Supervision hooks, set by
+        #: :meth:`~repro.shard.supervisor.ShardSupervisor.attach`.  When
+        #: ``supervisor`` is None (the pre-supervision contract every
+        #: existing test relies on) routed calls have no deadlines and a
+        #: dead worker raises :class:`ShardCrashed` to the caller, who
+        #: owns recovery.  Supervised, deadlines apply, crashes are
+        #: reported for automatic restart, and callers get fail-fast
+        #: retryable :class:`~repro.errors.ShardUnavailableError`.
+        self.supervisor = None
+        self.call_timeout_s: float | None = None
+        self.prepare_timeout_s: float | None = None
+        self.decide_retries: int = 0
+        self.decide_backoff_base_s: float = 0.01
+        self.decide_backoff_cap_s: float = 0.25
 
     # ------------------------------------------------------ construction
 
@@ -324,15 +340,57 @@ class ShardedDatabase:
             groups.setdefault(0, []).extend(unrouted)
         return groups
 
+    # ----------------------------------------------- supervised dispatch
+
+    def shard_call(self, shard_id: int, cmd: tuple, timeout: float | None = None):
+        """Route one command to one shard with supervision semantics.
+
+        Unsupervised this is ``shards[sid].call(cmd)``: no deadline,
+        worker death raises :class:`ShardCrashed`.  Supervised, a shard
+        that is down/hung/mid-recovery fails fast with a retryable
+        :class:`~repro.errors.ShardUnavailableError` instead of blocking
+        on (or crashing into) a dead pipe: the crash is reported to the
+        supervisor, which restarts and recovers the shard while the
+        surviving shards keep serving.  ``timeout=None`` means "the
+        supervisor's default call deadline".
+        """
+        sup = self.supervisor
+        if sup is not None:
+            sup.ensure_serving(shard_id)
+        if timeout is None:
+            timeout = self.call_timeout_s
+        handle = self.shards[shard_id]
+        try:
+            # Only pass the deadline when one applies: tests wrap
+            # ``handle.call`` with single-argument fakes, and the
+            # unsupervised contract has no deadlines at all.
+            if timeout is None:
+                return handle.call(cmd)
+            return handle.call(cmd, timeout=timeout)
+        except (ShardCrashed, ShardUnavailableError) as exc:
+            if sup is None:
+                raise
+            raise self._shard_down(shard_id, handle, exc) from exc
+
+    def _shard_down(self, shard_id: int, handle, exc) -> ShardUnavailableError:
+        """Report a dead/hung shard; return the fail-fast replacement error."""
+        self.supervisor.report_crash(shard_id, handle, reason=str(exc))
+        return ShardUnavailableError(shard_id, "recovering", detail=str(exc))
+
     # ------------------------------------------------------ transactions
 
     def submit_txn(self, ops: list) -> list:
-        """Run one whole transaction; single-shard fast path or 2PC."""
+        """Run one whole transaction; single-shard fast path or 2PC.
+
+        A shard that died or is mid-recovery fails this *fast* under
+        supervision (retryable :class:`ShardUnavailableError` from
+        :meth:`shard_call`) rather than blocking on the worker pipe.
+        """
         self._require_open()
         groups = self._split(ops)
         if len(groups) == 1:
             ((sid, shard_ops),) = groups.items()
-            return self.shards[sid].call(("txn", shard_ops))
+            return self.shard_call(sid, ("txn", shard_ops))
         self._commit_two_phase(groups)
         return []
 
@@ -348,10 +406,33 @@ class ShardedDatabase:
             self.submit_txn(ops)
             return
         ((sid, shard_ops),) = groups.items()
-        self.shards[sid].call_nowait(("txn", shard_ops))
+        if self.supervisor is not None:
+            self.supervisor.ensure_serving(sid)
+        try:
+            self.shards[sid].call_nowait(("txn", shard_ops))
+        except (ShardCrashed, ShardUnavailableError) as exc:
+            if self.supervisor is None:
+                raise
+            raise self._shard_down(sid, self.shards[sid], exc) from exc
 
     def drain(self) -> list:
-        return [result for shard in self.shards for result in shard.drain()]
+        """Collect pipelined answers.  Supervised, a shard found dead or
+        hung mid-drain loses that shard's un-acked backlog (those
+        transactions are *indeterminate* until its restart recovery
+        settles them) and is handed to the supervisor; unsupervised the
+        crash propagates as before."""
+        results: list = []
+        for shard in self.shards:
+            try:
+                if self.call_timeout_s is None:
+                    results.extend(shard.drain())
+                else:
+                    results.extend(shard.drain(timeout=self.call_timeout_s))
+            except (ShardCrashed, ShardUnavailableError) as exc:
+                if self.supervisor is None:
+                    raise
+                self._shard_down(shard.shard_id, shard, exc)
+        return results
 
     def _new_gid(self) -> str:
         """A gid unique across all coordinator incarnations (epoch.seq)."""
@@ -367,15 +448,50 @@ class ShardedDatabase:
         swallowed failure safe -- that shard's restart recovery rolls
         the branch back -- but live traffic on it blocks until then, so
         we still try every shard.  Crash simulations propagate: the
-        whole node is dying and recovery handles everything.
+        whole node is dying and recovery handles everything.  Supervised,
+        a dead shard is reported (its restart rolls the branch back) and
+        the abort fan-out continues.
         """
         for sid in prepared:
             try:
-                self.shards[sid].call(("decide", gid, False))
+                self.shard_call(sid, ("decide", gid, False))
             except (SimulatedCrash, ShardCrashed):
                 raise
             except Exception:
                 pass
+
+    def _deliver_decide(self, gid: str, sid: int, commit: bool):
+        """One decide delivery with capped-exponential retry.
+
+        Returns ``None`` on success or the final failure.  Retries only
+        make sense for transient non-crash failures (a flaky transport
+        wrapper, a momentarily saturated worker): a dead shard
+        (:class:`ShardCrashed` unsupervised, converted to
+        :class:`ShardUnavailableError` supervised) will not answer until
+        its restart recovery runs, so hammering it is pointless -- the
+        supervised path queues the delivery with the supervisor instead.
+        """
+        last: Exception | None = None
+        for attempt in range(max(0, self.decide_retries) + 1):
+            if attempt:
+                time.sleep(
+                    min(
+                        self.decide_backoff_cap_s,
+                        self.decide_backoff_base_s * (2 ** (attempt - 1)),
+                    )
+                )
+            try:
+                self.shard_call(sid, ("decide", gid, commit))
+                return None
+            except SimulatedCrash:
+                raise
+            except ShardCrashed:
+                raise  # unsupervised process mode: the caller recovers
+            except ShardUnavailableError as exc:
+                return exc  # supervisor already owns this shard's repair
+            except Exception as exc:
+                last = exc
+        return last
 
     def _commit_prepared(self, gid: str, prepared: list[int]) -> None:
         """Send commit to every prepared branch after the decision is
@@ -384,35 +500,60 @@ class ShardedDatabase:
         failures are collected and surfaced once -- the transaction IS
         committed (the decision log says so), the failed branches just
         wait for that shard's restart recovery to complete them.
+
+        Supervised, an undelivered decision is *not* an error at all:
+        it is queued with the supervisor, whose repair loop (or the
+        shard's restart recovery against the decision log) completes the
+        branch, and the caller sees a committed transaction -- the PR-9
+        "committed but undelivered" terminal condition becomes a
+        transient, self-healing one.
         """
-        failures: list[tuple[int, Exception]] = []
+        undelivered: list[tuple[int, Exception]] = []
         first = True
         for sid in prepared:
-            try:
-                self.shards[sid].call(("decide", gid, True))
-            except (SimulatedCrash, ShardCrashed):
-                raise
-            except Exception as exc:
-                failures.append((sid, exc))
+            failure = self._deliver_decide(gid, sid, True)
+            if failure is not None:
+                undelivered.append((sid, failure))
             if first:
                 self.crashpoints.reach("twopc.after_first_commit")
                 first = False
-        if failures:
-            detail = "; ".join(f"shard {sid}: {exc}" for sid, exc in failures)
-            raise TwoPhaseCommitError(
-                f"transaction {gid} is committed, but delivering the "
-                f"decision failed on {detail}; restart recovery will "
-                f"complete those branches from the decision log"
+        if not undelivered:
+            return
+        if self.supervisor is not None:
+            self.supervisor.queue_decision_delivery(
+                gid, [sid for sid, _ in undelivered]
             )
+            return
+        detail = "; ".join(f"shard {sid}: {exc}" for sid, exc in undelivered)
+        raise TwoPhaseCommitError(
+            f"transaction {gid} is committed, but delivering the "
+            f"decision failed on {detail}; restart recovery will "
+            f"complete those branches from the decision log",
+            gid=gid,
+            committed=True,
+            undelivered=tuple(sid for sid, _ in undelivered),
+        )
 
     def _commit_two_phase(self, groups: dict[int, list]) -> None:
-        """Presumed-abort 2PC over ``groups`` (shard id -> ops)."""
+        """Presumed-abort 2PC over ``groups`` (shard id -> ops).
+
+        Prepares carry a deadline under supervision
+        (``prepare_timeout_s``): a participant that does not vote in
+        time is treated exactly like a vote of *no* -- presumed abort
+        rolls back the branches that did prepare, now or at the slow
+        shard's restart.  That is what makes a hung worker a transient
+        condition instead of a wedged coordinator.
+        """
         gid = self._new_gid()
         prepared: list[int] = []
         failure: BaseException | None = None
         for sid in sorted(groups):
             try:
-                self.shards[sid].call(("txn_prepare", gid, groups[sid]))
+                self.shard_call(
+                    sid,
+                    ("txn_prepare", gid, groups[sid]),
+                    timeout=self.prepare_timeout_s or self.call_timeout_s,
+                )
                 prepared.append(sid)
             except SimulatedCrash:
                 raise  # inproc crash simulation: whole process dies here
@@ -445,14 +586,18 @@ class ShardedDatabase:
             return
         if len(open_txns) == 1:
             ((sid, txn_id),) = open_txns.items()
-            self.shards[sid].call(("commit", txn_id))
+            self.shard_call(sid, ("commit", txn_id))
             return
         gid = self._new_gid()
         prepared: list[int] = []
         failure: BaseException | None = None
         for sid in sorted(open_txns):
             try:
-                self.shards[sid].call(("prepare", open_txns[sid], gid))
+                self.shard_call(
+                    sid,
+                    ("prepare", open_txns[sid], gid),
+                    timeout=self.prepare_timeout_s or self.call_timeout_s,
+                )
                 prepared.append(sid)
             except (SimulatedCrash, ShardCrashed):
                 raise
@@ -464,7 +609,9 @@ class ShardedDatabase:
             for sid in sorted(open_txns):
                 if sid not in prepared:
                     try:
-                        self.shards[sid].call(("abort", open_txns[sid]))
+                        self.shard_call(sid, ("abort", open_txns[sid]))
+                    except (SimulatedCrash, ShardCrashed):
+                        raise
                     except Exception:
                         pass
             raise TwoPhaseCommitError(
@@ -645,9 +792,14 @@ class ShardRouter:
     def _shard_op(self, shard_id: int, op: tuple):
         txn_id = self._open_txns.get(shard_id)
         if txn_id is None:
-            txn_id = self.db.shards[shard_id].call(("begin",))
+            txn_id = self.db.shard_call(shard_id, ("begin",))
             self._open_txns[shard_id] = txn_id
-        return self.db.shards[shard_id].call(("op", txn_id, op))
+            self._on_branch_open(shard_id, txn_id)
+        return self.db.shard_call(shard_id, ("op", txn_id, op))
+
+    def _on_branch_open(self, shard_id: int, txn_id: int) -> None:
+        """Hook: a new per-shard branch opened (overridden by the serve
+        layer to register the branch for deadlock detection)."""
 
     def _require_txn(self) -> None:
         if not self._in_txn:
@@ -658,6 +810,6 @@ class ShardRouter:
         self._in_txn = False
         for sid, txn_id in txns.items():
             try:
-                self.db.shards[sid].call(("abort", txn_id))
+                self.db.shard_call(sid, ("abort", txn_id))
             except Exception:
                 pass

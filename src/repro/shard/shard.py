@@ -8,14 +8,37 @@ database).  :class:`ProcessShard` sends them to a worker process; because
 the pipe is FIFO, ``call_nowait`` may queue an arbitrary backlog and
 ``drain`` collects answers in order, which keeps every worker core busy
 while the parent does nothing but pickle tuples.
+
+Failure semantics (what the supervisor builds on):
+
+* every handle serializes its calls through an internal ``mutex`` --
+  concurrent serving sessions share one pipe, and a FIFO pipe cannot
+  interleave request/response pairs;
+* ``call`` takes an optional ``timeout``; a worker that does not answer
+  in time is presumed *hung* and the handle is **poisoned** (a late
+  reply would desynchronize the FIFO), raising
+  :class:`~repro.errors.ShardTimeoutError` now and
+  :class:`ShardCrashed` for every later call until the supervisor
+  replaces the handle with a recovered one;
+* a broken/EOF'd pipe (the worker died) raises :class:`ShardCrashed`
+  instead of leaking raw OS errors;
+* ``is_alive()`` / ``probe(timeout)`` are the heartbeat hooks: cheap
+  liveness first (process poll, poison flag), then an optional ping
+  round trip bounded by ``timeout``.
 """
 
 from __future__ import annotations
 
 import multiprocessing as mp
+import threading
 
 import repro.errors as errors_mod
-from repro.errors import ReproError, ShardError, SimulatedCrash
+from repro.errors import (
+    ReproError,
+    ShardError,
+    ShardTimeoutError,
+    SimulatedCrash,
+)
 from repro.shard.core import ShardCore
 from repro.shard.worker import shard_worker_main
 
@@ -26,7 +49,7 @@ def _mp_context():
 
 
 class ShardCrashed(ShardError):
-    """The worker hit a simulated crash and exited; recover the shard."""
+    """The worker died (simulated crash, kill, or lost pipe); recover it."""
 
     def __init__(self, shard_id: int, point: str, hit: int) -> None:
         super().__init__(f"shard {shard_id} crashed at {point} (hit {hit})")
@@ -42,28 +65,57 @@ class LocalShard:
         self.shard_id = shard_id
         self.core = core
         self._pending: list = []
+        self._crashed = False
+        self.mutex = threading.RLock()
 
-    def call(self, cmd: tuple):
-        return self.core.execute(cmd)
+    def call(self, cmd: tuple, timeout: float | None = None):
+        # Inline execution cannot hang on a pipe, so ``timeout`` is
+        # accepted for interface parity and ignored.
+        with self.mutex:
+            self._require_live()
+            return self.core.execute(cmd)
 
     def call_nowait(self, cmd: tuple) -> None:
         # Inline execution keeps deterministic ordering: the command runs
         # now; only the answer is deferred to drain().
-        self._pending.append(self.core.execute(cmd))
+        with self.mutex:
+            self._require_live()
+            self._pending.append(self.core.execute(cmd))
 
-    def drain(self) -> list:
-        results, self._pending = self._pending, []
-        return results
+    def drain(self, timeout: float | None = None) -> list:
+        with self.mutex:
+            results, self._pending = self._pending, []
+            return results
 
     @property
     def pending(self) -> int:
         return len(self._pending)
 
+    def _require_live(self) -> None:
+        if self._crashed:
+            raise ShardCrashed(self.shard_id, "crashed", 0)
+
+    def is_alive(self) -> bool:
+        return not self._crashed
+
+    def probe(self, timeout: float | None = None) -> bool:
+        """Heartbeat: inline shards are alive unless crashed."""
+        return not self._crashed
+
     def close(self) -> None:
-        self.core.db.close()
+        if not self._crashed:
+            self.core.db.close()
 
     def crash(self) -> None:
+        """Kill this shard only: later calls raise :class:`ShardCrashed`
+        (the deterministic twin of a dead worker process)."""
+        self._crashed = True
         self.core.db.crash()
+
+    def terminate(self) -> None:
+        """Interface parity with :class:`ProcessShard` (hard kill)."""
+        if not self._crashed:
+            self.crash()
 
 
 class ProcessShard:
@@ -89,34 +141,110 @@ class ProcessShard:
         self._proc.start()
         child_conn.close()
         self._outstanding = 0
+        #: Replies drained early by an intervening ``call`` (the pipe is
+        #: FIFO, so a synchronous call must consume the pipelined
+        #: backlog's answers first); handed out by the next ``drain``.
+        self._parked: list = []
         self._ready = None  # set by wait_ready
+        self._poisoned = False
+        self.mutex = threading.RLock()
 
-    def wait_ready(self) -> dict:
+    def wait_ready(self, timeout: float | None = None) -> dict:
         """Block until the worker finishes creation/recovery."""
         if self._ready is None:
-            self._ready = self._decode(self._conn.recv())
+            self._ready = self._decode(self._recv(timeout))
         return self._ready
 
-    def call(self, cmd: tuple):
-        self.wait_ready()
-        self._conn.send(cmd)
-        return self._decode(self._conn.recv())
+    def call(self, cmd: tuple, timeout: float | None = None):
+        with self.mutex:
+            self.wait_ready()
+            self._require_usable()
+            if self._outstanding:
+                # FIFO pipe: the backlog's answers arrive before ours
+                # would.  Consume them now (parked for the next drain)
+                # or this call would read somebody else's reply.
+                self._drain_backlog(timeout)
+            try:
+                self._conn.send(cmd)
+            except (BrokenPipeError, EOFError, OSError):
+                self._mark_dead()
+            return self._decode(self._recv(timeout))
 
     def call_nowait(self, cmd: tuple) -> None:
-        self.wait_ready()
-        self._conn.send(cmd)
-        self._outstanding += 1
+        with self.mutex:
+            self.wait_ready()
+            self._require_usable()
+            try:
+                self._conn.send(cmd)
+            except (BrokenPipeError, EOFError, OSError):
+                self._mark_dead()
+            self._outstanding += 1
 
-    def drain(self) -> list:
-        results = []
+    def drain(self, timeout: float | None = None) -> list:
+        with self.mutex:
+            self._drain_backlog(timeout)
+            results, self._parked = self._parked, []
+            return results
+
+    def _drain_backlog(self, timeout: float | None) -> None:
         while self._outstanding:
-            results.append(self._decode(self._conn.recv()))
+            self._parked.append(self._decode(self._recv(timeout)))
             self._outstanding -= 1
-        return results
 
     @property
     def pending(self) -> int:
         return self._outstanding
+
+    # --------------------------------------------------------- liveness
+
+    def is_alive(self) -> bool:
+        return self._proc.is_alive() and not self._poisoned
+
+    def probe(self, timeout: float | None = None) -> bool:
+        """Heartbeat: cheap liveness, then a bounded ping round trip.
+
+        A shard busy with another caller's command (mutex held) is
+        *alive* -- it is making progress, not hanging -- so the probe
+        never blocks behind in-flight work.
+        """
+        if not self.is_alive():
+            return False
+        if timeout is None:
+            return True
+        if not self.mutex.acquire(blocking=False):
+            return True  # busy serving someone: alive by definition
+        try:
+            if self._outstanding:
+                return True  # pipelined backlog in flight: don't desync
+            return self.call(("ping",), timeout=timeout) == "pong"
+        except (ShardError, ReproError):
+            return False
+        finally:
+            self.mutex.release()
+
+    # ---------------------------------------------------------- innards
+
+    def _require_usable(self) -> None:
+        if self._poisoned:
+            raise ShardCrashed(self.shard_id, "worker-lost", 0)
+
+    def _mark_dead(self):
+        self._poisoned = True
+        self._outstanding = 0
+        raise ShardCrashed(self.shard_id, "worker-death", 0)
+
+    def _recv(self, timeout: float | None = None):
+        try:
+            if timeout is not None and not self._conn.poll(timeout):
+                # A reply may still arrive later; consuming it would be
+                # paired with the WRONG request.  Poison the handle: the
+                # supervisor kills and recovers the worker.
+                self._poisoned = True
+                self._outstanding = 0
+                raise ShardTimeoutError(self.shard_id, timeout)
+            return self._conn.recv()
+        except (BrokenPipeError, EOFError, OSError):
+            self._mark_dead()
 
     def _decode(self, reply):
         tag = reply[0]
@@ -125,6 +253,7 @@ class ProcessShard:
         if tag == "crash":
             _tag, point, hit = reply
             self._outstanding = 0
+            self._poisoned = True
             self._proc.join(timeout=10)
             raise ShardCrashed(self.shard_id, point, hit)
         _tag, exc_name, message = reply
@@ -136,18 +265,19 @@ class ProcessShard:
         raise exc_class(f"[shard {self.shard_id}] {message}")
 
     def close(self) -> None:
-        if self._proc.is_alive():
+        if self._proc.is_alive() and not self._poisoned:
             try:
                 self.wait_ready()
                 self._conn.send(("exit",))
                 self._conn.recv()
-            except (BrokenPipeError, EOFError, OSError):
+            except (BrokenPipeError, EOFError, OSError, ShardError):
                 pass
         self._proc.join(timeout=10)
         self._conn.close()
 
     def terminate(self) -> None:
         """Hard-kill the worker (crash simulation in process mode)."""
+        self._poisoned = True
         if self._proc.is_alive():
             self._proc.terminate()
         self._proc.join(timeout=10)

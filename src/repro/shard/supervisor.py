@@ -1,0 +1,578 @@
+"""Self-healing shards: the supervisor that turns detection into repair.
+
+The sharded engine through PR 9 *detects* damage -- codeword audits catch
+wild writes, poisoned pipes catch dead and hung workers, the decision log
+catches half-delivered 2PC outcomes -- but the operator was the recovery
+mechanism: a :class:`~repro.shard.shard.ShardCrashed` or a "committed but
+undelivered" :class:`~repro.errors.TwoPhaseCommitError` surfaced to the
+caller and stayed there.  :class:`ShardSupervisor` closes the loop:
+
+* **Crash/hang detection.**  Every tick heartbeats the serving shards
+  (:meth:`~repro.shard.shard.ProcessShard.probe`: process poll, poison
+  flag, then a bounded ping round trip).  Routed calls report crashes
+  inline through :meth:`report_crash`, so detection does not wait for
+  the next heartbeat.  A hung worker is detected by call/ping timeout;
+  its pipe is poisoned (a late reply would desynchronize the FIFO) and
+  it is restarted exactly like a dead one.
+* **Automatic restart + certified recovery.**  A crashed shard is
+  terminated, recovered through the same shard-parallel restart path the
+  router uses (fresh worker with ``recover=True`` in process mode,
+  :meth:`ShardCore.recover` inproc), resolving in-doubt 2PC branches
+  against a fresh snapshot of the decision log.  Before the shard
+  rejoins, its recovery is *certified* by a full codeword audit (with a
+  quarantine-repair retry when the shard is configured for it); an
+  uncertified shard never serves.  Surviving shards serve throughout --
+  recovery touches only the dead shard's handle.
+* **In-doubt decision repair.**  A commit decision that could not be
+  delivered (the participant died between the coordinator's fsync and
+  the decide fan-out) is queued here by the router; the repair loop
+  replays it with capped-exponential backoff until the participant
+  answers ``committed``/``unknown``, and a certified restart drops the
+  queue entry outright -- restart recovery already resolved the branch
+  against the decision log.  The caller saw a *committed* transaction
+  the whole time.
+* **Degraded-mode serving.**  While a shard is down, every routed call
+  to it fails fast with a retryable
+  :class:`~repro.errors.ShardUnavailableError` (:meth:`ensure_serving`)
+  instead of blocking on a dead pipe; the serve layer forwards the
+  retryable bit to remote clients.  A shard that exhausts
+  ``max_restarts`` consecutive failed restarts, or cannot certify, is
+  parked ``DOWN`` -- contained, not crashing the node.
+
+The supervisor runs either *manually* (call :meth:`tick` from a test or
+a driver loop; fully deterministic) or *automatically*: :meth:`start`
+rides the existing :class:`~repro.runtime.scheduler.Scheduler` machinery
+-- a threaded scheduler whose ``"interval"`` tick drives supervision in
+the background, the same task plumbing that drives group-commit
+deadlines and background sweeps.
+
+:class:`WaitForGraph` is the cross-shard deadlock half of the story.
+Locks in this system *fail fast* (a conflict raises
+:class:`~repro.errors.LockError` immediately; nobody blocks inside a
+shard), so classic lock-queue cycles cannot form -- but *retry* cycles
+can: session A holds shard 0's key and retries for shard 1's, session B
+holds shard 1's and retries for shard 0's, and both retry forever.  The
+serve layer records each conflict as a wait-for edge here; a cycle
+convicts the **youngest** member (largest transaction sequence number),
+which is aborted with a retryable :class:`~repro.errors.DeadlockError`
+while the survivors proceed.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+import time
+from dataclasses import dataclass, field as dc_field
+
+from repro.errors import ReproError, ShardError, ShardUnavailableError
+from repro.runtime.scheduler import THREADED, Scheduler
+from repro.shard.core import ShardCore
+from repro.shard.router import (
+    DECISION_LOG_FILE,
+    DecisionLog,
+    ShardedDatabase,
+)
+from repro.shard.shard import LocalShard, ProcessShard
+
+#: Shard lifecycle states the supervisor tracks.
+SERVING = "serving"
+RECOVERING = "recovering"
+DOWN = "down"
+
+
+@dataclass(frozen=True)
+class SupervisorConfig:
+    """Knobs of one supervisor.  The defaults suit process-mode shards
+    on a loaded machine; tests shrink the timeouts to milliseconds."""
+
+    #: Ping deadline of one heartbeat probe.  A worker that cannot
+    #: answer a ping in this long is presumed hung and restarted.
+    heartbeat_timeout_s: float = 1.0
+    #: Default deadline applied to every routed shard call.
+    call_timeout_s: float = 10.0
+    #: Deadline of one 2PC prepare; a late vote is a vote of no
+    #: (presumed abort).  ``None`` falls back to ``call_timeout_s``.
+    prepare_timeout_s: float | None = 2.0
+    #: Inline retries of one decide delivery before the supervisor's
+    #: repair queue takes over.
+    decide_retries: int = 2
+    decide_backoff_base_s: float = 0.01
+    decide_backoff_cap_s: float = 0.25
+    #: Deadline for a restarted worker to finish recovery.
+    restart_timeout_s: float = 60.0
+    #: Consecutive failed restart attempts before the shard is parked
+    #: ``DOWN`` (a crash loop must not become a restart storm).
+    max_restarts: int = 5
+    #: Backoff between repair-queue delivery attempts per decision.
+    repair_backoff_base_s: float = 0.01
+    repair_backoff_cap_s: float = 0.5
+    #: Period of the automatic supervision tick (:meth:`start`).
+    tick_interval_s: float = 0.05
+
+
+@dataclass
+class _ShardState:
+    state: str = SERVING
+    #: Consecutive failed restart attempts (reset on certified rejoin).
+    failed_restarts: int = 0
+    #: Closed unavailability windows ``(down_at, up_at)`` plus the
+    #: currently open one (``open_since`` is not None while not serving).
+    windows: list = dc_field(default_factory=list)
+    open_since: float | None = None
+    restarts: int = 0
+
+
+@dataclass
+class _PendingDecision:
+    gid: str
+    shards: set
+    attempts: int = 0
+    next_try_at: float = 0.0
+
+
+class ShardSupervisor:
+    """Heartbeats, restarts, and repairs the shards of one router."""
+
+    def __init__(
+        self, db: ShardedDatabase, config: SupervisorConfig | None = None
+    ) -> None:
+        self.db = db
+        self.config = config or SupervisorConfig()
+        self._states: dict[int, _ShardState] = {
+            sid: _ShardState() for sid in range(len(db.shards))
+        }
+        self._pending: dict[str, _PendingDecision] = {}
+        self._lock = threading.RLock()
+        self._tick_lock = threading.Lock()
+        self._scheduler: Scheduler | None = None
+        self.events: list[dict] = []
+        self.decisions_repaired = 0
+        self.heartbeat_failures = 0
+        self._attached = False
+
+    # ------------------------------------------------------- attachment
+
+    def attach(self) -> "ShardSupervisor":
+        """Wire supervision into the router: deadlines on every routed
+        call, fail-fast on non-serving shards, crash reporting, and the
+        pending-delivery path for undelivered commit decisions."""
+        config = self.config
+        self.db.supervisor = self
+        self.db.call_timeout_s = config.call_timeout_s
+        self.db.prepare_timeout_s = config.prepare_timeout_s
+        self.db.decide_retries = config.decide_retries
+        self.db.decide_backoff_base_s = config.decide_backoff_base_s
+        self.db.decide_backoff_cap_s = config.decide_backoff_cap_s
+        self._attached = True
+        return self
+
+    def detach(self) -> None:
+        """Restore the pre-supervision router contract."""
+        self.stop()
+        self.db.supervisor = None
+        self.db.call_timeout_s = None
+        self.db.prepare_timeout_s = None
+        self.db.decide_retries = 0
+        self._attached = False
+
+    def start(self) -> "ShardSupervisor":
+        """Run supervision automatically on a threaded scheduler tick.
+
+        The supervisor owns a tiny :class:`Scheduler` of its own (the
+        router has no single scheduler -- each shard database runs one
+        *inside* its worker) and registers :meth:`tick` as an
+        ``"interval"`` task, the same machinery that drives group-commit
+        deadlines and background sweeps elsewhere.
+        """
+        if not self._attached:
+            self.attach()
+        if self._scheduler is None:
+            self._scheduler = Scheduler(
+                THREADED, tick_interval_s=self.config.tick_interval_s
+            )
+            self._scheduler.register_tick(
+                "supervise", ("interval",), self._scheduled_tick
+            )
+        return self
+
+    def stop(self) -> None:
+        scheduler, self._scheduler = self._scheduler, None
+        if scheduler is not None:
+            scheduler.shutdown()
+
+    def _scheduled_tick(self, _event: str) -> None:
+        try:
+            self.tick()
+        except Exception as exc:  # pragma: no cover - ticker must survive
+            self._event("tick_error", None, str(exc))
+
+    # ------------------------------------------------------ fast checks
+
+    def state_of(self, shard_id: int) -> str:
+        return self._states[shard_id].state
+
+    def ensure_serving(self, shard_id: int) -> None:
+        """Fail fast when the shard cannot take this call right now.
+
+        This is the degraded-mode contract: a request routed to a
+        recovering (or parked) shard gets an immediately-retryable typed
+        error instead of blocking on a worker pipe that nobody is
+        reading -- surviving shards keep serving, and the caller's
+        retry lands after the supervisor rejoins the shard.
+        """
+        state = self._states[shard_id].state
+        if state != SERVING:
+            raise ShardUnavailableError(
+                shard_id,
+                state,
+                detail="the supervisor is restarting it"
+                if state == RECOVERING
+                else "restart/certification failed; operator attention needed",
+            )
+
+    def report_crash(self, shard_id: int, handle, reason: str = "") -> None:
+        """A routed call found the shard dead or hung; mark it for
+        restart.  Idempotent and stale-proof: a report against a handle
+        the supervisor already replaced is ignored (the crash belongs
+        to the shard's previous life)."""
+        with self._lock:
+            if self.db.shards[shard_id] is not handle:
+                return
+            entry = self._states[shard_id]
+            if entry.state != SERVING:
+                return
+            entry.state = RECOVERING
+            entry.open_since = time.monotonic()
+            self._event("crash_detected", shard_id, reason)
+
+    def queue_decision_delivery(self, gid: str, shards) -> None:
+        """A durable commit decision could not reach these participants;
+        remember it until delivery or certified restart resolves it."""
+        with self._lock:
+            entry = self._pending.get(gid)
+            if entry is None:
+                entry = self._pending[gid] = _PendingDecision(gid, set())
+            entry.shards.update(shards)
+            self._event(
+                "decision_queued", None, f"{gid} -> shards {sorted(entry.shards)}"
+            )
+
+    @property
+    def pending_decisions(self) -> dict[str, tuple]:
+        with self._lock:
+            return {gid: tuple(sorted(p.shards)) for gid, p in self._pending.items()}
+
+    # ------------------------------------------------------------- tick
+
+    def tick(self) -> dict:
+        """One supervision pass: heartbeats, restarts, decision repair.
+
+        Safe to call from a test loop or the scheduler ticker; a second
+        concurrent tick is skipped rather than queued (supervision is
+        idempotent, the next tick picks up whatever this one missed).
+        """
+        if not self._tick_lock.acquire(blocking=False):
+            return {"skipped": True}
+        try:
+            self._heartbeat()
+            restarted = self._restart_pass()
+            delivered = self._repair_decisions()
+            return {
+                "skipped": False,
+                "restarted": restarted,
+                "decisions_delivered": delivered,
+            }
+        finally:
+            self._tick_lock.release()
+
+    def _heartbeat(self) -> None:
+        for sid, entry in self._states.items():
+            if entry.state != SERVING:
+                continue
+            handle = self.db.shards[sid]
+            try:
+                alive = handle.probe(timeout=self.config.heartbeat_timeout_s)
+            except ReproError:
+                alive = False
+            if not alive:
+                self.heartbeat_failures += 1
+                self.report_crash(sid, handle, reason="heartbeat failed")
+
+    def _restart_pass(self) -> int:
+        restarted = 0
+        for sid, entry in self._states.items():
+            if entry.state == RECOVERING and self._try_restart(sid):
+                restarted += 1
+        return restarted
+
+    def _try_restart(self, shard_id: int) -> bool:
+        entry = self._states[shard_id]
+        if entry.failed_restarts >= self.config.max_restarts:
+            entry.state = DOWN
+            self._event(
+                "shard_down",
+                shard_id,
+                f"{entry.failed_restarts} consecutive restart failures",
+            )
+            return False
+        self._event("restart_attempt", shard_id, "")
+        old = self.db.shards[shard_id]
+        try:
+            old.terminate()
+        except Exception:
+            pass
+        new_handle = None
+        try:
+            new_handle = self._recover_handle(shard_id)
+            if not self._certify(new_handle):
+                raise ShardError(
+                    f"shard {shard_id} recovered but failed audit certification"
+                )
+        except Exception as exc:
+            entry.failed_restarts += 1
+            self._event("restart_failed", shard_id, str(exc))
+            if new_handle is not None:
+                try:
+                    new_handle.terminate()
+                except Exception:
+                    pass
+            return False
+        with self._lock:
+            self.db.shards[shard_id] = new_handle
+            entry.state = SERVING
+            entry.failed_restarts = 0
+            entry.restarts += 1
+            if entry.open_since is not None:
+                entry.windows.append((entry.open_since, time.monotonic()))
+                entry.open_since = None
+            # Restart recovery resolved every in-doubt branch against a
+            # decision-log snapshot taken *after* the undelivered
+            # decisions were fsync'd, so pending deliveries for this
+            # shard are already satisfied.
+            for gid in list(self._pending):
+                pending = self._pending[gid]
+                pending.shards.discard(shard_id)
+                if not pending.shards:
+                    del self._pending[gid]
+                    self.decisions_repaired += 1
+                    self._event(
+                        "decision_delivered", shard_id, f"{gid} (via restart recovery)"
+                    )
+        self._event("rejoined", shard_id, f"restart #{entry.restarts}")
+        return True
+
+    def _recover_handle(self, shard_id: int):
+        """Recover one shard through the same path the parallel-restart
+        benchmark uses, resolving in-doubt branches against a fresh
+        decision-log snapshot."""
+        config = self.db.config
+        committed = DecisionLog.load_committed(
+            os.path.join(config.dir, DECISION_LOG_FILE)
+        )
+        if config.mode == "process":
+            handle = ProcessShard(
+                shard_id,
+                config.db_config(shard_id),
+                [],
+                recover=True,
+                committed_gids=committed,
+            )
+            handle.wait_ready(timeout=self.config.restart_timeout_s)
+            return handle
+        core, _report = ShardCore.recover(
+            config.db_config(shard_id),
+            in_doubt_resolver=lambda gid: gid in committed,
+        )
+        return LocalShard(shard_id, core)
+
+    def _certify(self, handle) -> bool:
+        """Certified recovery: a full codeword audit must pass before
+        the shard rejoins; quarantine-configured shards get one
+        repair-and-re-audit chance (persistent corruption that survived
+        the restart replay)."""
+        clean, _regions, _ranges = handle.call(
+            ("audit",), timeout=self.config.restart_timeout_s
+        )
+        if clean:
+            return True
+        try:
+            handle.call(("repair",), timeout=self.config.restart_timeout_s)
+        except ReproError:
+            return False
+        clean, _regions, _ranges = handle.call(
+            ("audit",), timeout=self.config.restart_timeout_s
+        )
+        return bool(clean)
+
+    def _repair_decisions(self) -> int:
+        """Replay undelivered commit decisions to serving participants.
+
+        Per-decision capped-exponential backoff; a participant that died
+        again is reported (its restart will resolve the branch) and the
+        entry stays queued.  ``committed``/``unknown`` both count as
+        delivered -- ``unknown`` means the shard's own recovery already
+        finished the branch.
+        """
+        delivered = 0
+        now = time.monotonic()
+        with self._lock:
+            pending = [p for p in self._pending.values() if p.next_try_at <= now]
+        for item in pending:
+            for sid in sorted(item.shards):
+                if self._states[sid].state != SERVING:
+                    continue
+                handle = self.db.shards[sid]
+                try:
+                    handle.call(
+                        ("decide", item.gid, True),
+                        timeout=self.config.call_timeout_s,
+                    )
+                except ReproError as exc:
+                    self.report_crash(sid, handle, reason=str(exc))
+                    continue
+                except Exception as exc:  # contain: retry after backoff
+                    self._event(
+                        "decision_delivery_failed", sid, f"{item.gid}: {exc}"
+                    )
+                    continue
+                with self._lock:
+                    item.shards.discard(sid)
+                self._event("decision_delivered", sid, item.gid)
+            with self._lock:
+                if not item.shards:
+                    self._pending.pop(item.gid, None)
+                    self.decisions_repaired += 1
+                    delivered += 1
+                else:
+                    item.attempts += 1
+                    item.next_try_at = now + min(
+                        self.config.repair_backoff_cap_s,
+                        self.config.repair_backoff_base_s * (2 ** item.attempts),
+                    )
+        return delivered
+
+    # ------------------------------------------------------------ status
+
+    def heal(self, timeout_s: float = 60.0, tick_sleep_s: float = 0.01) -> bool:
+        """Tick until every shard serves and no decision is pending (or
+        the deadline passes).  The chaos campaign's settling primitive."""
+        deadline = time.monotonic() + timeout_s
+        while time.monotonic() < deadline:
+            self.tick()
+            states = {entry.state for entry in self._states.values()}
+            if states == {SERVING} and not self._pending:
+                return True
+            if DOWN in states:
+                return False
+            time.sleep(tick_sleep_s)
+        return False
+
+    def unavailability_windows(self, shard_id: int) -> list[tuple[float, float]]:
+        entry = self._states[shard_id]
+        windows = list(entry.windows)
+        if entry.open_since is not None:
+            windows.append((entry.open_since, time.monotonic()))
+        return windows
+
+    def summary(self) -> dict:
+        """Machine-readable supervision outcome (the chaos bench JSON)."""
+        with self._lock:
+            per_shard = {}
+            for sid, entry in self._states.items():
+                windows = self.unavailability_windows(sid)
+                per_shard[sid] = {
+                    "state": entry.state,
+                    "restarts": entry.restarts,
+                    "unavailability_windows": len(windows),
+                    "unavailable_s": round(
+                        sum(end - start for start, end in windows), 4
+                    ),
+                    "max_window_s": round(
+                        max((end - start for start, end in windows), default=0.0), 4
+                    ),
+                }
+            return {
+                "shards": per_shard,
+                "restarts": sum(e.restarts for e in self._states.values()),
+                "heartbeat_failures": self.heartbeat_failures,
+                "decisions_repaired": self.decisions_repaired,
+                "pending_decisions": len(self._pending),
+                "events": len(self.events),
+            }
+
+    def _event(self, kind: str, shard_id: int | None, detail: str) -> None:
+        self.events.append(
+            {
+                "t": time.monotonic(),
+                "kind": kind,
+                "shard": shard_id,
+                "detail": detail,
+            }
+        )
+
+
+class WaitForGraph:
+    """Cross-shard wait-for edges with cycle detection.
+
+    Nodes are serve-layer session ids.  Edges mean "waiter's next retry
+    needs a lock that holder's open branch has" -- *retry intent*, since
+    locks here fail fast and no thread ever blocks inside a shard.  The
+    serve layer adds an edge per conflict, clears a session's outgoing
+    edges when it makes progress, and clears edges onto a session when
+    its transaction ends.  :meth:`cycle_from` reports a cycle through
+    the given node, whose youngest member the caller aborts.
+    """
+
+    def __init__(self) -> None:
+        self._waits: dict[int, set[int]] = {}
+
+    def add(self, waiter: int, holder: int) -> None:
+        if waiter == holder:
+            return
+        self._waits.setdefault(waiter, set()).add(holder)
+
+    def clear_waiter(self, waiter: int) -> None:
+        self._waits.pop(waiter, None)
+
+    def clear_holder(self, holder: int) -> None:
+        for holders in self._waits.values():
+            holders.discard(holder)
+        self._waits = {w: h for w, h in self._waits.items() if h}
+
+    def cycle_from(self, start: int) -> tuple[int, ...] | None:
+        """DFS from ``start``; returns the first cycle through it."""
+        path: list[int] = []
+        on_path: set[int] = set()
+        visited: set[int] = set()
+
+        def visit(node: int) -> tuple[int, ...] | None:
+            path.append(node)
+            on_path.add(node)
+            for nxt in self._waits.get(node, ()):
+                if nxt == start:
+                    return tuple(path)
+                if nxt in on_path or nxt in visited:
+                    continue
+                found = visit(nxt)
+                if found is not None:
+                    return found
+            path.pop()
+            on_path.discard(node)
+            visited.add(node)
+            return None
+
+        return visit(start)
+
+    def edges(self) -> dict[int, tuple[int, ...]]:
+        return {w: tuple(sorted(h)) for w, h in self._waits.items() if h}
+
+
+__all__ = [
+    "DOWN",
+    "RECOVERING",
+    "SERVING",
+    "ShardSupervisor",
+    "SupervisorConfig",
+    "WaitForGraph",
+]

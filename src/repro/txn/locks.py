@@ -83,7 +83,8 @@ class LockManager:
                 if not mode.compatible_with(grant.mode):
                     raise LockError(
                         f"transaction {txn_id} requests {mode.value} on {key!r} "
-                        f"held {grant.mode.value} by transaction {grant.txn_id}"
+                        f"held {grant.mode.value} by transaction {grant.txn_id}",
+                        holder_txn_id=grant.txn_id,
                     )
             self.acquire_count += 1
             if mine is not None:

@@ -1,0 +1,341 @@
+"""The shard supervisor: crash detection, certified restart, in-doubt
+decision repair, degraded-mode serving, and the wait-for graph.
+
+Inproc shards make the lifecycle deterministic (``crash_shard`` is the
+exact stand-in for a dead worker); a small set of process-mode tests
+covers the real thing -- SIGKILLed workers, hung workers detected by
+pipe timeout, and heartbeat probes.
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro import Field, FieldType, Schema
+from repro.errors import (
+    ShardTimeoutError,
+    ShardUnavailableError,
+)
+from repro.faults.workers import hang_worker, kill_worker
+from repro.shard import (
+    ShardSupervisor,
+    ShardedConfig,
+    ShardedDatabase,
+    SupervisorConfig,
+    WaitForGraph,
+)
+from repro.shard.supervisor import DOWN, RECOVERING, SERVING
+
+ACCOUNT_SCHEMA = Schema(
+    [
+        Field("aid", FieldType.INT64),
+        Field("balance", FieldType.INT64),
+    ]
+)
+
+TRANSFER = [
+    ("add", "account", 0, "balance", -30),
+    ("add", "account", 1, "balance", 30),
+]
+
+
+def _build(tmp_path, name: str, mode: str = "inproc",
+           config: SupervisorConfig | None = None):
+    sharded = ShardedConfig(
+        dir=str(tmp_path / name),
+        n_shards=2,
+        mode=mode,
+        branches=2,
+        scheme="data_codeword",
+    )
+    db = ShardedDatabase.create(sharded, [("account", ACCOUNT_SCHEMA, 32, "aid")])
+    db.submit_txn([("insert", "account", {"aid": 0, "balance": 100})])
+    db.submit_txn([("insert", "account", {"aid": 1, "balance": 100})])
+    supervisor = ShardSupervisor(db, config or SupervisorConfig()).attach()
+    return db, supervisor
+
+
+def _balances(db) -> tuple[int, int]:
+    a = db.submit_txn([("query", "account", 0)])[0]["balance"]
+    b = db.submit_txn([("query", "account", 1)])[0]["balance"]
+    return a, b
+
+
+class TestWaitForGraph:
+    def test_no_cycle(self):
+        graph = WaitForGraph()
+        graph.add(1, 2)
+        graph.add(2, 3)
+        assert graph.cycle_from(1) is None
+
+    def test_two_cycle(self):
+        graph = WaitForGraph()
+        graph.add(1, 2)
+        graph.add(2, 1)
+        assert graph.cycle_from(1) == (1, 2)
+        assert graph.cycle_from(2) == (2, 1)
+
+    def test_three_cycle(self):
+        graph = WaitForGraph()
+        graph.add(1, 2)
+        graph.add(2, 3)
+        graph.add(3, 1)
+        assert graph.cycle_from(1) == (1, 2, 3)
+
+    def test_self_edge_ignored(self):
+        graph = WaitForGraph()
+        graph.add(1, 1)
+        assert graph.cycle_from(1) is None
+
+    def test_clear_waiter_breaks_cycle(self):
+        graph = WaitForGraph()
+        graph.add(1, 2)
+        graph.add(2, 1)
+        graph.clear_waiter(2)
+        assert graph.cycle_from(1) is None
+
+    def test_clear_holder_breaks_cycle(self):
+        graph = WaitForGraph()
+        graph.add(1, 2)
+        graph.add(2, 1)
+        graph.clear_holder(1)
+        assert graph.cycle_from(1) is None
+        assert graph.edges() == {1: (2,)}
+
+
+class TestCrashDetectionAndRestart:
+    def test_routed_call_reports_crash_and_fails_fast(self, tmp_path):
+        db, supervisor = _build(tmp_path, "report")
+        db.crash_shard(1)
+        # The next routed call discovers the death, reports it, and the
+        # caller gets the fail-fast retryable error -- not ShardCrashed.
+        with pytest.raises(ShardUnavailableError) as err:
+            db.submit_txn([("query", "account", 1)])
+        assert err.value.retryable
+        assert supervisor.state_of(1) == RECOVERING
+        # Surviving shard serves throughout.
+        assert db.submit_txn([("query", "account", 0)])[0]["balance"] == 100
+        db.close()
+
+    def test_heartbeat_detects_silent_death(self, tmp_path):
+        db, supervisor = _build(tmp_path, "heartbeat")
+        db.crash_shard(0)
+        assert supervisor.state_of(0) == SERVING  # not yet noticed
+        supervisor.tick()
+        # One tick: heartbeat flags it AND the restart pass recovers it.
+        assert supervisor.heartbeat_failures == 1
+        assert supervisor.state_of(0) == SERVING
+        assert _balances(db) == (100, 100)
+        db.close()
+
+    def test_restart_recovers_committed_state(self, tmp_path):
+        db, supervisor = _build(tmp_path, "restart")
+        db.submit_txn(TRANSFER)
+        db.crash_shard(1)
+        supervisor.tick()
+        assert supervisor.state_of(1) == SERVING
+        assert _balances(db) == (70, 130)
+        assert supervisor.summary()["restarts"] == 1
+        db.close()
+
+    def test_stale_crash_report_ignored(self, tmp_path):
+        db, supervisor = _build(tmp_path, "stale")
+        old_handle = db.shards[0]
+        db.crash_shard(0)
+        supervisor.tick()  # restarts; db.shards[0] is a new handle
+        supervisor.report_crash(0, old_handle, reason="stale")
+        assert supervisor.state_of(0) == SERVING
+        db.close()
+
+    def test_max_restarts_parks_shard_down(self, tmp_path):
+        db, supervisor = _build(
+            tmp_path, "down", config=SupervisorConfig(max_restarts=2)
+        )
+        db.crash_shard(1)
+        supervisor.report_crash(1, db.shards[1], reason="test")
+
+        def broken(shard_id):
+            raise RuntimeError("recovery keeps failing")
+
+        supervisor._recover_handle = broken
+        supervisor.tick()
+        supervisor.tick()
+        assert supervisor.state_of(1) == RECOVERING  # still trying
+        supervisor.tick()
+        assert supervisor.state_of(1) == DOWN
+        with pytest.raises(ShardUnavailableError) as err:
+            db.submit_txn([("query", "account", 1)])
+        assert err.value.state == "down"
+        # The survivor still serves; heal() reports the node degraded.
+        assert db.submit_txn([("query", "account", 0)])[0]["balance"] == 100
+        assert supervisor.heal(timeout_s=0.2) is False
+        db.close()
+
+    def test_unavailability_window_recorded(self, tmp_path):
+        db, supervisor = _build(tmp_path, "window")
+        db.crash_shard(0)
+        supervisor.report_crash(0, db.shards[0], reason="test")
+        assert len(supervisor.unavailability_windows(0)) == 1  # open
+        supervisor.tick()
+        windows = supervisor.unavailability_windows(0)
+        assert len(windows) == 1
+        start, end = windows[0]
+        assert end >= start
+        shard_summary = supervisor.summary()["shards"][0]
+        assert shard_summary["unavailability_windows"] == 1
+        assert shard_summary["state"] == SERVING
+        db.close()
+
+    def test_detach_restores_unsupervised_contract(self, tmp_path):
+        from repro.shard.shard import ShardCrashed
+
+        db, supervisor = _build(tmp_path, "detach")
+        supervisor.detach()
+        assert db.supervisor is None
+        db.crash_shard(1)
+        with pytest.raises(ShardCrashed):
+            db.submit_txn([("query", "account", 1)])
+        db.close()
+
+
+class TestDecisionRepair:
+    def test_pending_decision_delivered_to_serving_shard(self, tmp_path):
+        db, supervisor = _build(tmp_path, "repair")
+        # A decide for an unknown gid answers "unknown" (already
+        # resolved), which counts as delivered.
+        supervisor.queue_decision_delivery("g9.9", [0])
+        assert supervisor.pending_decisions == {"g9.9": (0,)}
+        result = supervisor.tick()
+        assert result["decisions_delivered"] == 1
+        assert supervisor.pending_decisions == {}
+        assert supervisor.decisions_repaired == 1
+        db.close()
+
+    def test_restart_resolves_pending_decisions(self, tmp_path):
+        db, supervisor = _build(tmp_path, "restart-repair")
+        db.crash_shard(1)
+        supervisor.report_crash(1, db.shards[1], reason="test")
+        supervisor.queue_decision_delivery("g1.1", [1])
+        supervisor.tick()  # restart path drops the shard's pending entry
+        assert supervisor.state_of(1) == SERVING
+        assert supervisor.pending_decisions == {}
+        db.close()
+
+    def test_repair_backoff_defers_retry(self, tmp_path):
+        db, supervisor = _build(tmp_path, "backoff")
+
+        calls = []
+        original = db.shards[0].call
+
+        def failing(cmd, timeout=None):
+            if cmd[0] == "decide":
+                calls.append(cmd)
+                raise RuntimeError("flaky transport")
+            return original(cmd, timeout=timeout)
+
+        db.shards[0].call = failing
+        supervisor.queue_decision_delivery("g2.2", [0])
+        supervisor._repair_decisions()
+        assert len(calls) == 1
+        # Non-crash failure: entry stays queued with a future retry time.
+        assert supervisor.pending_decisions == {"g2.2": (0,)}
+        supervisor._repair_decisions()  # inside backoff -> no new attempt
+        assert len(calls) == 1
+        db.shards[0].call = original
+        time.sleep(0.05)
+        supervisor._repair_decisions()
+        assert supervisor.pending_decisions == {}
+        db.close()
+
+
+class TestProcessMode:
+    """The real thing: SIGKILLed and hung worker processes."""
+
+    def _config(self) -> SupervisorConfig:
+        return SupervisorConfig(
+            heartbeat_timeout_s=0.5,
+            call_timeout_s=1.0,
+            prepare_timeout_s=1.0,
+            restart_timeout_s=60.0,
+        )
+
+    def test_killed_worker_restarts_and_serves(self, tmp_path):
+        db, supervisor = _build(
+            tmp_path, "kill", mode="process", config=self._config()
+        )
+        try:
+            db.submit_txn(TRANSFER)
+            kill_worker(db, 1)
+            with pytest.raises(ShardUnavailableError):
+                db.submit_txn([("query", "account", 1)])
+            assert supervisor.state_of(1) == RECOVERING
+            # Survivor keeps serving while the victim restarts.
+            assert db.submit_txn([("query", "account", 0)])[0]["balance"] == 70
+            assert supervisor.heal(timeout_s=60.0)
+            assert _balances(db) == (70, 130)
+            assert supervisor.summary()["restarts"] == 1
+        finally:
+            supervisor.detach()
+            db.close()
+
+    def test_hung_worker_times_out_and_restarts(self, tmp_path):
+        db, supervisor = _build(
+            tmp_path, "hang", mode="process", config=self._config()
+        )
+        try:
+            hang_worker(db, 1, seconds=3.0)
+            began = time.monotonic()
+            with pytest.raises(ShardUnavailableError):
+                db.submit_txn([("query", "account", 1)])
+            # Deadline, not the full hang: detection must not wait the
+            # sleep out.
+            assert time.monotonic() - began < 2.5
+            assert supervisor.state_of(1) == RECOVERING
+            assert supervisor.heal(timeout_s=60.0)
+            assert _balances(db) == (100, 100)
+        finally:
+            supervisor.detach()
+            db.close()
+
+    def test_timeout_poisons_pipe(self, tmp_path):
+        sharded = ShardedConfig(
+            dir=str(tmp_path / "poison"),
+            n_shards=1,
+            mode="process",
+            branches=1,
+            scheme="data_codeword",
+        )
+        db = ShardedDatabase.create(
+            sharded, [("account", ACCOUNT_SCHEMA, 32, "aid")]
+        )
+        try:
+            db.shards[0].call_nowait(("hang", 2.0))
+            with pytest.raises(ShardTimeoutError) as err:
+                db.shards[0].call(("ping",), timeout=0.2)
+            assert err.value.retryable
+            assert not db.shards[0].is_alive()  # poisoned
+        finally:
+            db.crash()
+
+    def test_scheduled_ticks_heal_without_manual_intervention(self, tmp_path):
+        db, supervisor = _build(
+            tmp_path, "auto", mode="process", config=self._config()
+        )
+        supervisor.start()
+        try:
+            kill_worker(db, 0)
+            deadline = time.monotonic() + 30.0
+            while time.monotonic() < deadline:
+                if (
+                    supervisor.summary()["restarts"] >= 1
+                    and supervisor.state_of(0) == SERVING
+                ):
+                    break
+                time.sleep(0.05)
+            assert supervisor.state_of(0) == SERVING
+            assert _balances(db) == (100, 100)
+        finally:
+            supervisor.detach()
+            db.close()

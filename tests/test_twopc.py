@@ -19,6 +19,7 @@ import pytest
 from repro import CrashPointRegistry, Database, DBConfig, Field, FieldType, Schema
 from repro.errors import (
     ShardError,
+    ShardUnavailableError,
     SimulatedCrash,
     TransactionError,
     TwoPhaseCommitError,
@@ -439,3 +440,61 @@ class TestTwoPcHardening:
         db.close()
         with pytest.raises(ShardError):
             db.submit_txn_nowait([("add", "account", 0, "balance", 1)])
+
+
+class TestSupervisedDelivery:
+    """Under a supervisor, "committed but undelivered" self-heals: the
+    caller sees SUCCESS, the supervisor owns completing the branch."""
+
+    def test_kill_after_decision_fsync_self_heals(self, tmp_path):
+        from repro.faults.workers import kill_after_decision
+        from repro.shard import ShardSupervisor
+
+        db, _ = _build_sharded(tmp_path, "supervised-gap")
+        supervisor = ShardSupervisor(db).attach()
+        # Arm the exact gap PR 9 surfaced as a terminal error: the
+        # participant dies AFTER the commit decision is fsync'd but
+        # BEFORE its decide message arrives.
+        kill_after_decision(db, 1)
+
+        db.submit_txn(TRANSFER)  # no exception: the caller sees SUCCESS
+
+        # The decision is durable and its delivery is queued, not lost.
+        assert len(db.decisions) == 1
+        assert len(supervisor.pending_decisions) == 1
+        # Degraded mode: the victim fails fast with a retryable error
+        # while the survivor serves.
+        with pytest.raises(ShardUnavailableError) as err:
+            db.submit_txn([("query", "account", 1)])
+        assert err.value.retryable
+        assert db.submit_txn([("query", "account", 0)])[0]["balance"] == 70
+
+        # One tick restarts shard 1; its restart recovery resolves the
+        # prepared branch against the decision log, so the pending
+        # delivery is satisfied and funds are conserved.
+        supervisor.tick()
+        assert supervisor.pending_decisions == {}
+        assert _balances(db) == (70, 130)
+        assert sum(_balances(db)) == 200
+        supervisor.detach()
+        db.close()
+
+    def test_unsupervised_gap_still_needs_manual_recovery(self, tmp_path):
+        """Without a supervisor the same kill surfaces as an exception
+        (the PR-9 contract: the caller owns recovery) and only a restart
+        completes the committed branch -- the before/after picture of
+        what the supervisor automates."""
+        from repro.faults.workers import kill_after_decision
+        from repro.shard.shard import ShardCrashed
+
+        db, config = _build_sharded(tmp_path, "unsupervised-gap")
+        kill_after_decision(db, 1)
+        with pytest.raises(ShardCrashed):
+            db.submit_txn(TRANSFER)
+        # The decision IS durable; the caller just has to recover to
+        # learn that (outcome-check discipline, docs/errors.md).
+        assert len(db.decisions) == 1
+        db.crash()
+        recovered, _ = ShardedDatabase.recover(config)
+        assert _balances(recovered) == (70, 130)
+        recovered.close()
