@@ -346,6 +346,33 @@ class ShardTimeoutError(ShardUnavailableError):
         self.timeout_s = timeout_s
 
 
+class PartialDrainError(RetryableError, ShardError):
+    """A supervised pipelined drain lost part of its backlog to a dead
+    or hung shard.
+
+    The answers that did arrive are in ``results`` (in submission order
+    per shard, surviving shards complete); ``lost`` maps each crashed
+    shard id to the number of its un-acked submissions whose outcome is
+    now *indeterminate* until that shard's restart recovery settles
+    them (committed work replays, the rest rolls back).  Raised instead
+    of silently returning a shorter list so a caller correlating drain
+    results with ``submit_txn_nowait`` calls can tell exactly which
+    transactions need the outcome-check-then-retry discipline.
+    Retryable at the session level: the shards are being restarted by
+    the supervisor.
+    """
+
+    def __init__(self, results: list, lost: dict):
+        total = sum(lost.values())
+        super().__init__(
+            f"drain lost the un-acked backlog of shard(s) "
+            f"{sorted(lost)}: {total} submission(s) indeterminate until "
+            "restart recovery settles them"
+        )
+        self.results = results
+        self.lost = dict(lost)
+
+
 class DeadlockError(RetryableError, ShardError):
     """A cross-shard wait-for cycle convicted this session (youngest
     victim).  Its open branches are rolled back on every shard; the

@@ -73,8 +73,11 @@ class ShardSession(ShardRouter):
         #: ``begin`` (shard-local txn ids collide across shards).
         self.txn_seq = 0
         #: Set by the detector when this session is convicted while not
-        #: the current waiter; consumed at the next request.
-        self._victim_cycle: tuple[int, ...] | None = None
+        #: the current waiter; consumed at the next request.  Stamped
+        #: ``(cycle, txn_seq)`` with the convicted transaction's seq so
+        #: a conviction that races this session's commit cannot abort a
+        #: *later* transaction (the seq no longer matches).
+        self._victim_cycle: tuple[tuple[int, ...], int] | None = None
         self._last_shard: int | None = None
         self._branches: list[tuple[int, int]] = []
         self._waiting = False
@@ -116,12 +119,16 @@ class ShardSession(ShardRouter):
 
     def _consume_conviction(self) -> DeadlockError | None:
         """The detector convicted us since our last request; abort now."""
-        cycle = self._victim_cycle
-        if cycle is None:
+        pending = self._victim_cycle
+        if pending is None:
             return None
         self._victim_cycle = None
-        if not self._in_txn:
-            return None  # the cycle already broke (we committed/aborted)
+        cycle, seq = pending
+        if not self._in_txn or seq != self.txn_seq:
+            # The convicted transaction already ended (we committed or
+            # rolled back concurrently with the detection, breaking the
+            # cycle); a transaction begun since is innocent.
+            return None
         self._rollback()
         self.deadlock_aborts += 1
         self.errors_contained += 1
@@ -302,7 +309,14 @@ class ShardServer(Server):
                 return cycle
             victim_session = self._sessions.get(victim)
             if victim_session is not None:
-                victim_session._victim_cycle = cycle
+                # Stamp with the convicted transaction's seq: the
+                # victim's branches are still in the graph, so its
+                # release (which needs this lock) has not run and
+                # txn_seq is still the convicted transaction's.  If the
+                # victim commits before its next request, the stale seq
+                # makes _consume_conviction a no-op instead of
+                # aborting an unrelated later transaction.
+                victim_session._victim_cycle = (cycle, victim_session.txn_seq)
             return None
 
     def _session_age(self, session_id: int) -> int:

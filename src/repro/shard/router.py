@@ -30,11 +30,13 @@ tagged with their shard.
 from __future__ import annotations
 
 import os
+import threading
 import time
 from dataclasses import dataclass, field as dc_field
 
 from repro.errors import (
     ConfigError,
+    PartialDrainError,
     ShardError,
     ShardUnavailableError,
     SimulatedCrash,
@@ -210,6 +212,12 @@ class ShardedDatabase:
         self.decide_retries: int = 0
         self.decide_backoff_base_s: float = 0.01
         self.decide_backoff_cap_s: float = 0.25
+        #: Serializes commit decisions against restart-recovery snapshot
+        #: reads (see :meth:`_fenced_decide`): a recovery snapshot taken
+        #: under this lock either precedes a decision's incarnation fence
+        #: (which then withholds the decision) or follows its append (and
+        #: so includes the gid).
+        self.decision_lock = threading.Lock()
 
     # ------------------------------------------------------ construction
 
@@ -419,10 +427,16 @@ class ShardedDatabase:
         """Collect pipelined answers.  Supervised, a shard found dead or
         hung mid-drain loses that shard's un-acked backlog (those
         transactions are *indeterminate* until its restart recovery
-        settles them) and is handed to the supervisor; unsupervised the
+        settles them): the shard is handed to the supervisor and a
+        retryable :class:`~repro.errors.PartialDrainError` carries the
+        surviving shards' answers plus a per-shard count of the lost
+        submissions, so the caller can tell exactly which of its
+        ``submit_txn_nowait`` calls have no answer.  Unsupervised the
         crash propagates as before."""
         results: list = []
+        lost: dict[int, int] = {}
         for shard in self.shards:
+            backlog = shard.pending
             try:
                 if self.call_timeout_s is None:
                     results.extend(shard.drain())
@@ -432,6 +446,9 @@ class ShardedDatabase:
                 if self.supervisor is None:
                     raise
                 self._shard_down(shard.shard_id, shard, exc)
+                lost[shard.shard_id] = backlog
+        if lost:
+            raise PartialDrainError(results, lost)
         return results
 
     def _new_gid(self) -> str:
@@ -439,6 +456,62 @@ class ShardedDatabase:
         gid = f"g{self._epoch}.{self._next_gid}"
         self._next_gid += 1
         return gid
+
+    def _prepare_token(self, shard_id: int) -> int:
+        """Capture the shard's incarnation right before its prepare."""
+        if self.supervisor is None:
+            return 0
+        return self.supervisor.prepare_token(shard_id)
+
+    def _fenced_decide(
+        self, gid: str, prepared: list[int], tokens: dict[int, int]
+    ) -> list[int] | None:
+        """Durably decide commit, fenced on participant incarnations.
+
+        A restarting shard resolves its in-doubt branches against a
+        decision-log snapshot; if that snapshot was read *before* this
+        append, the recovered shard presumed-aborted the branch and a
+        commit decision now would be acked to the caller while one
+        branch is already rolled back -- an atomicity violation.  The
+        fence closes the race: snapshot reads
+        (:meth:`~repro.shard.supervisor.ShardSupervisor._recover_handle`)
+        and this check+append are serialized by ``decision_lock``, so
+        either every prepared participant is still its prepare-time
+        incarnation when the decision lands (and any later snapshot
+        includes the gid), or the decision is withheld and presumed
+        abort rolls every branch back.
+
+        Returns ``None`` when the decision was appended, else the
+        sorted stale shard ids (restarted or no longer serving since
+        their prepare); the caller aborts.
+        """
+        with self.decision_lock:
+            sup = self.supervisor
+            if sup is not None:
+                stale = sorted(
+                    sid
+                    for sid in prepared
+                    if not sup.can_decide(sid, tokens.get(sid, -1))
+                )
+                if stale:
+                    return stale
+            self.decisions.append(gid)
+            return None
+
+    def _fence_abort(
+        self, gid: str, prepared: list[int], stale: list[int]
+    ) -> TwoPhaseCommitError:
+        """Presumed abort after a fence rejection: roll back the live
+        branches (the stale shards' recoveries already did) and build
+        the retryable outcome error."""
+        self._abort_prepared(gid, prepared)
+        return TwoPhaseCommitError(
+            f"transaction {gid} aborted: shard(s) {stale} restarted "
+            "between prepare and the commit decision, so their recovery "
+            "resolved the branch against a decision-log snapshot that "
+            "predates this decision (incarnation fence)",
+            gid=gid,
+        )
 
     def _abort_prepared(self, gid: str, prepared: list[int]) -> None:
         """Send abort to every prepared branch, best-effort per shard.
@@ -546,8 +619,10 @@ class ShardedDatabase:
         """
         gid = self._new_gid()
         prepared: list[int] = []
+        tokens: dict[int, int] = {}
         failure: BaseException | None = None
         for sid in sorted(groups):
+            tokens[sid] = self._prepare_token(sid)
             try:
                 self.shard_call(
                     sid,
@@ -570,7 +645,9 @@ class ShardedDatabase:
                 f"transaction {gid} aborted: {failure}"
             ) from failure
         self.crashpoints.reach("twopc.pre_decide")
-        self.decisions.append(gid)
+        stale = self._fenced_decide(gid, prepared, tokens)
+        if stale is not None:
+            raise self._fence_abort(gid, prepared, stale)
         self.crashpoints.reach("twopc.after_decide")
         self._commit_prepared(gid, prepared)
 
@@ -590,8 +667,10 @@ class ShardedDatabase:
             return
         gid = self._new_gid()
         prepared: list[int] = []
+        tokens: dict[int, int] = {}
         failure: BaseException | None = None
         for sid in sorted(open_txns):
+            tokens[sid] = self._prepare_token(sid)
             try:
                 self.shard_call(
                     sid,
@@ -618,7 +697,9 @@ class ShardedDatabase:
                 f"transaction {gid} aborted: {failure}"
             ) from failure
         self.crashpoints.reach("twopc.pre_decide")
-        self.decisions.append(gid)
+        stale = self._fenced_decide(gid, prepared, tokens)
+        if stale is not None:
+            raise self._fence_abort(gid, prepared, stale)
         self.crashpoints.reach("twopc.after_decide")
         self._commit_prepared(gid, prepared)
 

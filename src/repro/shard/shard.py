@@ -31,6 +31,7 @@ from __future__ import annotations
 
 import multiprocessing as mp
 import threading
+import time
 
 import repro.errors as errors_mod
 from repro.errors import (
@@ -147,6 +148,10 @@ class ProcessShard:
         self._parked: list = []
         self._ready = None  # set by wait_ready
         self._poisoned = False
+        #: When a probe found a pipelined backlog with no reply ready,
+        #: the monotonic time it first saw that; a backlog that makes no
+        #: progress for longer than the probe timeout is a hung worker.
+        self._stall_since: float | None = None
         self.mutex = threading.RLock()
 
     def wait_ready(self, timeout: float | None = None) -> dict:
@@ -190,6 +195,7 @@ class ProcessShard:
         while self._outstanding:
             self._parked.append(self._decode(self._recv(timeout)))
             self._outstanding -= 1
+        self._stall_since = None
 
     @property
     def pending(self) -> int:
@@ -205,7 +211,12 @@ class ProcessShard:
 
         A shard busy with another caller's command (mutex held) is
         *alive* -- it is making progress, not hanging -- so the probe
-        never blocks behind in-flight work.
+        never blocks behind in-flight work.  A pipelined backlog cannot
+        be pinged (the FIFO would desync), so it is watched for
+        *progress* instead: available replies are consumed (parked for
+        the next ``drain``); a backlog that produces nothing across
+        probes for longer than ``timeout`` is a hung worker, poisoned
+        and reported exactly like a call timeout.
         """
         if not self.is_alive():
             return False
@@ -215,12 +226,50 @@ class ProcessShard:
             return True  # busy serving someone: alive by definition
         try:
             if self._outstanding:
-                return True  # pipelined backlog in flight: don't desync
+                return self._probe_backlog(timeout)
+            self._stall_since = None
             return self.call(("ping",), timeout=timeout) == "pong"
         except (ShardError, ReproError):
             return False
         finally:
             self.mutex.release()
+
+    def _probe_backlog(self, timeout: float) -> bool:
+        """Progress check over an in-flight pipelined backlog.
+
+        Note the stall window is the *probe* timeout: a single command
+        that legitimately runs longer than the heartbeat deadline while
+        pipelined will be convicted as hung.  That is the supervised
+        contract -- the same command issued synchronously under
+        ``call_timeout_s`` gets the longer call deadline instead.
+        """
+        progressed = False
+        while self._outstanding:
+            try:
+                ready = self._conn.poll(0)
+            except (BrokenPipeError, EOFError, OSError):
+                self._mark_dead()
+            if not ready:
+                break
+            self._parked.append(self._decode(self._recv(None)))
+            self._outstanding -= 1
+            progressed = True
+        if progressed or not self._outstanding:
+            self._stall_since = None
+            return True
+        now = time.monotonic()
+        if self._stall_since is None:
+            self._stall_since = now
+            return True
+        if now - self._stall_since <= timeout:
+            return True
+        # No reply for a full heartbeat window: presumed hung.  Poison
+        # the pipe (a late reply would desynchronize the FIFO) so the
+        # supervisor replaces the worker.
+        self._stall_since = None
+        self._poisoned = True
+        self._outstanding = 0
+        return False
 
     # ---------------------------------------------------------- innards
 

@@ -246,6 +246,28 @@ class ShardSupervisor:
             entry.open_since = time.monotonic()
             self._event("crash_detected", shard_id, reason)
 
+    def prepare_token(self, shard_id: int) -> int:
+        """Incarnation token the router captures right before a 2PC
+        prepare: the shard's restart count while it is serving, or a
+        sentinel that can never match when it is not (the prepare is
+        doomed anyway -- :meth:`ensure_serving` fails it fast)."""
+        with self._lock:
+            entry = self._states[shard_id]
+            return entry.restarts if entry.state == SERVING else -1
+
+    def can_decide(self, shard_id: int, token: int) -> bool:
+        """The commit-decision fence: True iff the shard still serves in
+        the same incarnation the prepare ran in.  A shard that crashed,
+        is mid-recovery, or rejoined as a later incarnation may have
+        resolved the prepared branch against a decision-log snapshot
+        that predates the decision, so the coordinator must presume
+        abort instead of committing."""
+        if token < 0:
+            return False
+        with self._lock:
+            entry = self._states[shard_id]
+            return entry.state == SERVING and entry.restarts == token
+
     def queue_decision_delivery(self, gid: str, shards) -> None:
         """A durable commit decision could not reach these participants;
         remember it until delivery or certified restart resolves it."""
@@ -324,7 +346,7 @@ class ShardSupervisor:
             pass
         new_handle = None
         try:
-            new_handle = self._recover_handle(shard_id)
+            new_handle, snapshot = self._recover_handle(shard_id)
             if not self._certify(new_handle):
                 raise ShardError(
                     f"shard {shard_id} recovered but failed audit certification"
@@ -346,11 +368,17 @@ class ShardSupervisor:
             if entry.open_since is not None:
                 entry.windows.append((entry.open_since, time.monotonic()))
                 entry.open_since = None
-            # Restart recovery resolved every in-doubt branch against a
-            # decision-log snapshot taken *after* the undelivered
-            # decisions were fsync'd, so pending deliveries for this
-            # shard are already satisfied.
+            # Restart recovery resolved every in-doubt branch against
+            # this restart's decision-log snapshot, so a pending
+            # delivery whose gid the snapshot contains is already
+            # satisfied on this shard.  A gid the snapshot does NOT
+            # contain was fsync'd after the snapshot was read (the
+            # incarnation fence guarantees no such decision names a
+            # branch this recovery touched); it stays queued for the
+            # repair loop to deliver to the new incarnation.
             for gid in list(self._pending):
+                if gid not in snapshot:
+                    continue
                 pending = self._pending[gid]
                 pending.shards.discard(shard_id)
                 if not pending.shards:
@@ -365,11 +393,22 @@ class ShardSupervisor:
     def _recover_handle(self, shard_id: int):
         """Recover one shard through the same path the parallel-restart
         benchmark uses, resolving in-doubt branches against a fresh
-        decision-log snapshot."""
+        decision-log snapshot.  Returns ``(handle, snapshot)``.
+
+        The snapshot read is fenced against live coordinators
+        (:meth:`~repro.shard.router.ShardedDatabase._fenced_decide`):
+        taken under ``decision_lock``, it either precedes a decision's
+        incarnation-fence check -- which then sees this shard
+        RECOVERING and withholds the decision -- or follows the
+        fsync'd append and so contains the gid.  Either way this
+        recovery can never presume-abort a branch whose commit the
+        coordinator acks.
+        """
         config = self.db.config
-        committed = DecisionLog.load_committed(
-            os.path.join(config.dir, DECISION_LOG_FILE)
-        )
+        with self.db.decision_lock:
+            committed = DecisionLog.load_committed(
+                os.path.join(config.dir, DECISION_LOG_FILE)
+            )
         if config.mode == "process":
             handle = ProcessShard(
                 shard_id,
@@ -379,12 +418,12 @@ class ShardSupervisor:
                 committed_gids=committed,
             )
             handle.wait_ready(timeout=self.config.restart_timeout_s)
-            return handle
+            return handle, committed
         core, _report = ShardCore.recover(
             config.db_config(shard_id),
             in_doubt_resolver=lambda gid: gid in committed,
         )
-        return LocalShard(shard_id, core)
+        return LocalShard(shard_id, core), committed
 
     def _certify(self, handle) -> bool:
         """Certified recovery: a full codeword audit must pass before

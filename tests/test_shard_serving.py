@@ -233,6 +233,35 @@ class TestDeadlockDetection:
             assert server.graph.edges() == {}
         db.close()
 
+    def test_stale_conviction_spares_successor_txn(self, tmp_path):
+        """A conviction stamped while the victim's commit was in flight
+        (the commit cleared _victim_cycle *before* releasing its graph
+        edges, so the detector could still see the old branches) must
+        not abort a transaction the session began afterwards: the
+        stamped txn_seq no longer matches (REVIEW: _consume_conviction
+        only checked _in_txn)."""
+        db = make_db(tmp_path, "dl-stale")
+        with ShardServer(db) as server:
+            s0, _s1 = self._conflict_slots(server)
+            b = server.open_session()
+            ok(server, b, op="begin")
+            convicted_seq = b.txn_seq
+            ok(server, b, op="update", table="account", slot=s0,
+               values={"balance": 5})
+            ok(server, b, op="commit")
+            ok(server, b, op="begin")  # unrelated successor transaction
+            # The race's end state: a conviction naming the committed
+            # transaction lands after its release wiped the flag.
+            b._victim_cycle = ((b.session_id, 99), convicted_seq)
+            survived = server.submit(
+                b, Request(op="query", table="account", key=0),
+            )
+            assert survived.ok, survived.detail
+            assert b._in_txn
+            assert b.deadlock_aborts == 0
+            ok(server, b, op="commit")
+        db.close()
+
     def test_commit_clears_stale_edges(self, tmp_path):
         db = make_db(tmp_path, "dl-clear")
         with ShardServer(db) as server:

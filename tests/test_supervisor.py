@@ -17,6 +17,7 @@ from repro import Field, FieldType, Schema
 from repro.errors import (
     ShardTimeoutError,
     ShardUnavailableError,
+    TwoPhaseCommitError,
 )
 from repro.faults.workers import hang_worker, kill_worker
 from repro.shard import (
@@ -215,11 +216,44 @@ class TestDecisionRepair:
 
     def test_restart_resolves_pending_decisions(self, tmp_path):
         db, supervisor = _build(tmp_path, "restart-repair")
+        # The decision is durable (that is the only way a delivery can
+        # be pending), so the restart's snapshot contains it and the
+        # rejoin cleanup may drop the entry.
+        db.decisions.append("g1.1")
         db.crash_shard(1)
         supervisor.report_crash(1, db.shards[1], reason="test")
         supervisor.queue_decision_delivery("g1.1", [1])
         supervisor.tick()  # restart path drops the shard's pending entry
         assert supervisor.state_of(1) == SERVING
+        assert supervisor.pending_decisions == {}
+        db.close()
+
+    def test_rejoin_keeps_decisions_newer_than_snapshot(self, tmp_path):
+        """A decision fsync'd *after* a restart's snapshot was read must
+        survive the rejoin cleanup: that restart's recovery never saw
+        it, so only the repair loop's explicit delivery (to the new
+        incarnation) can settle it."""
+        db, supervisor = _build(tmp_path, "rejoin-fresh")
+        db.crash_shard(1)
+        supervisor.report_crash(1, db.shards[1], reason="test")
+
+        original = supervisor._recover_handle
+
+        def recover_then_decide(shard_id):
+            handle_and_snapshot = original(shard_id)
+            # Appended after the snapshot read: simulates a concurrent
+            # coordinator landing a decision mid-recovery.
+            db.decisions.append("g7.7")
+            supervisor.queue_decision_delivery("g7.7", [1])
+            return handle_and_snapshot
+
+        supervisor._recover_handle = recover_then_decide
+        supervisor._restart_pass()
+        supervisor._recover_handle = original
+        assert supervisor.state_of(1) == SERVING
+        # Not dropped by the rejoin; the repair loop delivers it.
+        assert supervisor.pending_decisions == {"g7.7": (1,)}
+        supervisor.tick()
         assert supervisor.pending_decisions == {}
         db.close()
 
@@ -247,6 +281,97 @@ class TestDecisionRepair:
         time.sleep(0.05)
         supervisor._repair_decisions()
         assert supervisor.pending_decisions == {}
+        db.close()
+
+
+class TestIncarnationFence:
+    """The commit decision must be fenced on participant incarnation: a
+    participant restarted between its prepare and the decision resolved
+    the branch against a decision-log snapshot that predates the
+    decision, so committing anyway would ack a transaction whose branch
+    is already rolled back (REVIEW: restart recovery racing a live
+    coordinator)."""
+
+    def test_restart_between_prepare_and_decision_aborts(self, tmp_path):
+        db, supervisor = _build(tmp_path, "fence")
+        original = db.shards[1].call
+
+        def racing(cmd, timeout=None):
+            result = original(cmd, timeout=timeout)
+            if cmd[0] == "txn_prepare":
+                # The participant dies right after voting yes and its
+                # restart completes -- snapshot read, branch presumed
+                # aborted -- before the coordinator reaches a decision.
+                db.shards[1].call = original
+                db.crash_shard(1)
+                supervisor.report_crash(1, db.shards[1], reason="race")
+                supervisor.tick()
+            return result
+
+        db.shards[1].call = racing
+        with pytest.raises(TwoPhaseCommitError) as err:
+            db.submit_txn(TRANSFER)
+        # Presumed abort, not a phantom commit: nothing durable names
+        # the gid and both branches rolled back.
+        assert err.value.retryable
+        assert not err.value.committed
+        assert len(db.decisions) == 0
+        assert supervisor.state_of(1) == SERVING
+        assert _balances(db) == (100, 100)
+        # The retry (new incarnation prepared the branch) commits.
+        db.submit_txn(TRANSFER)
+        assert _balances(db) == (70, 130)
+        assert len(db.decisions) == 1
+        db.close()
+
+    def test_recovering_participant_fences_decision(self, tmp_path):
+        db, supervisor = _build(tmp_path, "fence-recovering")
+        original = db.shards[1].call
+
+        def racing(cmd, timeout=None):
+            result = original(cmd, timeout=timeout)
+            if cmd[0] == "txn_prepare":
+                # Crash detected but restart not yet run: the shard is
+                # RECOVERING at decision time, which must also fence.
+                db.shards[1].call = original
+                db.crash_shard(1)
+                supervisor.report_crash(1, db.shards[1], reason="race")
+            return result
+
+        db.shards[1].call = racing
+        with pytest.raises(TwoPhaseCommitError) as err:
+            db.submit_txn(TRANSFER)
+        assert err.value.retryable
+        assert len(db.decisions) == 0
+        assert supervisor.heal(timeout_s=10.0)
+        assert _balances(db) == (100, 100)
+        db.close()
+
+
+class TestSupervisedDrain:
+    def test_drain_reports_lost_backlog(self, tmp_path):
+        from repro.errors import PartialDrainError
+        from repro.shard.shard import ShardCrashed
+
+        db, supervisor = _build(tmp_path, "drain-loss")
+        db.submit_txn_nowait([("query", "account", 0)])
+        db.submit_txn_nowait([("query", "account", 1)])
+        db.submit_txn_nowait([("query", "account", 1)])
+
+        def dead_drain(timeout=None):
+            raise ShardCrashed(1, "worker-death", 0)
+
+        db.shards[1].drain = dead_drain
+        with pytest.raises(PartialDrainError) as err:
+            db.drain()
+        # The surviving shard's answers arrive; the crashed shard's
+        # backlog is named and counted, not silently dropped.
+        assert err.value.retryable
+        assert len(err.value.results) == 1
+        assert err.value.lost == {1: 2}
+        assert supervisor.state_of(1) == RECOVERING
+        supervisor.tick()
+        assert supervisor.state_of(1) == SERVING
         db.close()
 
 
@@ -293,6 +418,32 @@ class TestProcessMode:
             # sleep out.
             assert time.monotonic() - began < 2.5
             assert supervisor.state_of(1) == RECOVERING
+            assert supervisor.heal(timeout_s=60.0)
+            assert _balances(db) == (100, 100)
+        finally:
+            supervisor.detach()
+            db.close()
+
+    def test_heartbeat_detects_hung_backlog(self, tmp_path):
+        """A worker that hangs while a pipelined backlog is in flight
+        must be caught by heartbeat alone: no later timed call touches
+        the shard, so only the probe's backlog-progress watch can see
+        that the backlog stopped shrinking (REVIEW: probe returned
+        alive whenever _outstanding > 0)."""
+        db, supervisor = _build(
+            tmp_path, "hang-idle", mode="process", config=self._config()
+        )
+        try:
+            hang_worker(db, 1, seconds=60.0)
+            deadline = time.monotonic() + 20.0
+            while (
+                time.monotonic() < deadline
+                and supervisor.summary()["restarts"] == 0
+            ):
+                supervisor.tick()
+                time.sleep(0.05)
+            assert supervisor.heartbeat_failures >= 1
+            assert supervisor.summary()["restarts"] >= 1
             assert supervisor.heal(timeout_s=60.0)
             assert _balances(db) == (100, 100)
         finally:
